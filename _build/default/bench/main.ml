@@ -1,0 +1,525 @@
+(* The benchmark harness: regenerates every table and figure of the
+   paper's evaluation.
+
+     Table 1 — site naming conventions
+     Table 2 — spec syntax examples
+     Table 3 — the ARES nightly configuration matrix (36 configs)
+     Fig. 5  — versioned virtual providers (sanity)
+     Fig. 8  — concretization time vs package DAG size (245 packages)
+     Fig. 9  — sub-DAG sharing across MPI configurations
+     Fig. 10 — simulated build time: wrappers x filesystem
+     Fig. 11 — overhead percentages vs the paper's measurements
+     ablation — greedy vs backtracking concretization
+     micro    — bechamel micro-benchmarks of the hot paths
+
+   Absolute times for Fig. 10/11 come from the calibrated build simulator
+   (the substrate is not the authors' testbed); shapes and orderings are
+   the reproduction target. Fig. 8 times are real wall-clock measurements
+   of this implementation. *)
+
+module Ast = Ospack_spec.Ast
+module Parser = Ospack_spec.Parser
+module Printer = Ospack_spec.Printer
+module Concrete = Ospack_spec.Concrete
+module Constraint_ops = Ospack_spec.Constraint_ops
+module Repository = Ospack_package.Repository
+module Config = Ospack_config.Config
+module Concretizer = Ospack_concretize.Concretizer
+module Layout = Ospack_layout.Layout
+module Fsmodel = Ospack_buildsim.Fsmodel
+module Vfs = Ospack_vfs.Vfs
+module Database = Ospack_store.Database
+module Installer = Ospack_store.Installer
+module Universe = Ospack_repo.Universe
+module Pkgs_ares = Ospack_repo.Pkgs_ares
+module Platforms = Ospack_repo.Platforms
+module Version = Ospack_version.Version
+module Sha256 = Ospack_hash.Sha256
+
+let section title =
+  Printf.printf "\n%s\n%s\n%!" title (String.make (String.length title) '=')
+
+let universe_ctx ?(overrides = []) () =
+  Concretizer.make_ctx
+    ~config:(Config.layer [ Config.of_assoc overrides; Universe.default_config ])
+    ~compilers:Universe.compilers (Universe.repository ())
+
+(* ------------------------------------------------------------------ *)
+
+let table1 () =
+  section "Table 1: software organization of various HPC sites";
+  let ctx = universe_ctx () in
+  match Concretizer.concretize_string ctx "mpileaks ^mvapich2@1.9" with
+  | Error e -> Printf.printf "concretization failed: %s\n" e
+  | Ok c ->
+      Printf.printf "%-24s %s\n" "Site" "Install prefix for one mpileaks build";
+      List.iter
+        (fun (name, scheme) ->
+          let root =
+            match scheme with
+            | Layout.Llnl_usr_global -> "/usr/global/tools"
+            | Layout.Llnl_usr_local -> "/usr/local/tools"
+            | _ -> ""
+          in
+          Printf.printf "%-24s %s\n" name (Layout.path scheme ~root c))
+        Layout.all_schemes
+
+let table2 () =
+  section "Table 2: spec syntax examples";
+  let examples =
+    [
+      ("mpileaks", "package, no constraints");
+      ("mpileaks@1.1.2", "version 1.1.2");
+      ("mpileaks@1.1.2 %gcc", "built with gcc at the default version");
+      ("mpileaks@1.1.2 %intel@14.1 +debug", "intel 14.1, debug variant");
+      ("mpileaks@1.1.2 =bgq", "built for Blue Gene/Q");
+      ("mpileaks@1.1.2 ^mvapich2@1.9", "using mvapich2 1.9 for MPI");
+      ( "mpileaks @1.2:1.4 %gcc@4.7.3 -debug =bgq ^callpath @1.1 %gcc@4.7.3 \
+         ^openmpi @1.4.7",
+        "the fully-constrained example" );
+    ]
+  in
+  List.iter
+    (fun (spec, meaning) ->
+      match Parser.parse spec with
+      | Ok ast ->
+          Printf.printf "OK  %-50s  # %s\n    normalized: %s\n" spec meaning
+            (Printer.to_string ast)
+      | Error e -> Printf.printf "ERR %-50s  %s\n" spec e)
+    examples
+
+let table3 () =
+  section "Table 3: ARES configurations (paper: 36 nightly configs)";
+  let cells =
+    [
+      (Platforms.linux, "%gcc", "mvapich", [ `Current; `Previous; `Lite; `Dev ]);
+      (Platforms.linux, "%gcc", "mvapich2", [ `Current; `Previous; `Lite; `Dev ]);
+      (Platforms.linux, "%gcc", "openmpi", [ `Current; `Previous; `Lite; `Dev ]);
+      (Platforms.linux, "%intel@14.0.3", "mvapich2",
+       [ `Current; `Previous; `Lite; `Dev ]);
+      (Platforms.linux, "%intel@15.0.1", "mvapich2",
+       [ `Current; `Previous; `Lite; `Dev ]);
+      (Platforms.linux, "%pgi", "mvapich2", [ `Dev ]);
+      (Platforms.linux, "%clang", "mvapich2", [ `Current; `Previous; `Lite; `Dev ]);
+      (Platforms.bgq, "%gcc", "bgq-mpi", [ `Current; `Previous; `Lite; `Dev ]);
+      (Platforms.bgq, "%clang", "bgq-mpi", [ `Current; `Lite; `Dev ]);
+      (Platforms.cray_xe6, "%gcc", "cray-mpi", [ `Current; `Previous; `Lite; `Dev ]);
+    ]
+  in
+  let letter = function
+    | `Current -> "C"
+    | `Previous -> "P"
+    | `Lite -> "L"
+    | `Dev -> "D"
+  in
+  let ok = ref 0 and bad = ref 0 in
+  Printf.printf "%-12s %-15s %-9s configs\n" "arch" "compiler" "mpi";
+  List.iter
+    (fun (arch, compiler, mpi, configs) ->
+      let ctx =
+        universe_ctx ~overrides:[ ("arch", arch); ("providers.mpi", mpi) ] ()
+      in
+      let cells_out =
+        List.map
+          (fun config ->
+            let spec =
+              Printf.sprintf "%s %s =%s ^%s"
+                (Pkgs_ares.spec_of_config config)
+                compiler arch mpi
+            in
+            match Concretizer.concretize_string ctx spec with
+            | Ok _ ->
+                incr ok;
+                letter config
+            | Error _ ->
+                incr bad;
+                letter config ^ "!")
+          configs
+      in
+      Printf.printf "%-12s %-15s %-9s %s\n" arch compiler mpi
+        (String.concat " " cells_out))
+    cells;
+  Printf.printf "-> %d concretized, %d failed (paper: 36)\n" !ok !bad
+
+let fig5 () =
+  section "Fig. 5 sanity: versioned virtual dependencies";
+  let ctx = universe_ctx () in
+  let show spec =
+    match Concretizer.concretize_string ctx spec with
+    | Ok c ->
+        let provider =
+          List.find_opt
+            (fun n -> List.mem_assoc "mpi" n.Concrete.provided)
+            (Concrete.nodes c)
+        in
+        Printf.printf "%-24s -> %s\n" spec
+          (match provider with
+          | Some n -> Concrete.node_to_string n
+          | None -> "(no mpi in DAG)")
+    | Error e -> Printf.printf "%-24s -> ERROR %s\n" spec e
+  in
+  show "mpileaks";
+  show "mpileaks ^mpich";
+  show "gerris" (* needs mpi@2: *);
+  show "gerris ^mpich" (* forces mpich@3.x *)
+
+(* ------------------------------------------------------------------ *)
+
+let time_it f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let fig8 () =
+  section "Fig. 8: concretization time vs package DAG size (245 packages)";
+  let repo = Universe.repository () in
+  let ctx = universe_ctx () in
+  let trials = 5 in
+  let samples =
+    List.filter_map
+      (fun name ->
+        let spec =
+          match name with
+          | "bgq-mpi" -> "bgq-mpi =bgq %gcc"
+          | "cray-mpi" -> "cray-mpi =cray_xe6 %gcc"
+          | n -> n
+        in
+        match Parser.parse spec with
+        | Error _ -> None
+        | Ok ast -> (
+            match Concretizer.concretize ctx ast with
+            | Error _ -> None
+            | Ok c ->
+                let _, dt =
+                  time_it (fun () ->
+                      for _ = 1 to trials do
+                        ignore (Concretizer.concretize ctx ast)
+                      done)
+                in
+                Some (Concrete.node_count c, dt /. float_of_int trials)))
+      (Repository.package_names repo)
+  in
+  let buckets = Hashtbl.create 16 in
+  List.iter
+    (fun (n, dt) ->
+      let sum, count =
+        Option.value (Hashtbl.find_opt buckets n) ~default:(0.0, 0)
+      in
+      Hashtbl.replace buckets n (sum +. dt, count + 1))
+    samples;
+  Printf.printf "%-10s %-10s %s\n" "DAG nodes" "packages" "mean concretize time";
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) buckets []
+  |> List.sort compare
+  |> List.iter (fun (n, (sum, count)) ->
+         Printf.printf "%-10d %-10d %.3f ms\n" n count
+           (1000.0 *. sum /. float_of_int count));
+  let worst = List.fold_left (fun m (_, dt) -> max m dt) 0.0 samples in
+  let biggest = List.fold_left (fun m (n, _) -> max m n) 0 samples in
+  Printf.printf
+    "-> %d packages concretized; largest DAG %d nodes; worst time %.3f ms\n"
+    (List.length samples) biggest (1000.0 *. worst);
+  Printf.printf "   paper envelope: <4 s at ~50 nodes -> %s\n"
+    (if worst < 4.0 then "within envelope" else "OUTSIDE ENVELOPE")
+
+let fig9 () =
+  section "Fig. 9: sub-DAG sharing between mpich and openmpi builds";
+  let vfs = Vfs.create () in
+  let inst =
+    Installer.create ~vfs ~repo:(Universe.repository ())
+      ~compilers:Universe.compilers ()
+  in
+  let ctx = universe_ctx () in
+  let install spec =
+    match Concretizer.concretize_string ctx spec with
+    | Error e -> failwith e
+    | Ok c -> (
+        match Installer.install inst c with
+        | Ok outcomes -> outcomes
+        | Error e -> failwith e)
+  in
+  let first = install "mpileaks ^mvapich2@1.9" in
+  let t_first = Installer.total_build_seconds inst in
+  let second = install "mpileaks ^openmpi" in
+  let t_total = Installer.total_build_seconds inst in
+  let reused = List.filter (fun o -> o.Installer.o_reused) second in
+  Printf.printf "first install:  %d nodes built, %.1f simulated s\n"
+    (List.length first) t_first;
+  Printf.printf
+    "second install: %d nodes reused, %d rebuilt, %.1f more simulated s\n"
+    (List.length reused)
+    (List.length second - List.length reused)
+    (t_total -. t_first);
+  Printf.printf
+    "-> naive (no sharing) would simulate ~%.1f s; sharing spent %.1f s\n"
+    (2.0 *. t_first) t_total
+
+(* ------------------------------------------------------------------ *)
+
+(* the seven packages of Figs. 10/11, with the paper's measured overheads *)
+let fig10_packages =
+  [
+    (* name, paper NFS+wrappers overhead %, paper wrappers-only overhead % *)
+    ("libelf", 48.0, 9.5);
+    ("libpng", 62.7, 9.4);
+    ("mpileaks", 35.6, 12.3);
+    ("libdwarf", 17.7, 6.6);
+    ("python", 46.4, 10.2);
+    ("dyninst", 4.9, -0.4);
+    ("lapack", 16.6, 6.0);
+  ]
+
+type build_times = { nfs_w : float; tmp_w : float; tmp_nw : float }
+
+let simulate_builds () =
+  let ctx = universe_ctx () in
+  let build name fs use_wrappers =
+    match Concretizer.concretize_string ctx name with
+    | Error e -> failwith (name ^ ": " ^ e)
+    | Ok spec -> (
+        let vfs = Vfs.create () in
+        let inst =
+          Installer.create ~fs ~use_wrappers ~vfs
+            ~repo:(Universe.repository ()) ~compilers:Universe.compilers ()
+        in
+        match Installer.install inst spec with
+        | Ok outcomes ->
+            let root = List.nth outcomes (List.length outcomes - 1) in
+            root.Installer.o_record.Database.r_build_seconds
+        | Error e -> failwith (name ^ ": " ^ e))
+  in
+  List.map
+    (fun (name, _, _) ->
+      ( name,
+        {
+          nfs_w = build name Fsmodel.nfs true;
+          tmp_w = build name Fsmodel.tmpfs true;
+          tmp_nw = build name Fsmodel.tmpfs false;
+        } ))
+    fig10_packages
+
+let fig10 times =
+  section "Fig. 10: build time on NFS and temp, with and without wrappers";
+  Printf.printf "%-10s %14s %14s %14s   (simulated seconds)\n" "package"
+    "wrappers,NFS" "wrappers,tmp" "no-wrap,tmp";
+  List.iter
+    (fun (name, t) ->
+      Printf.printf "%-10s %14.1f %14.1f %14.1f\n" name t.nfs_w t.tmp_w
+        t.tmp_nw)
+    times;
+  let ordered =
+    List.for_all
+      (fun (_, t) -> t.nfs_w > t.tmp_w && t.tmp_w >= t.tmp_nw *. 0.99)
+      times
+  in
+  Printf.printf "-> NFS > tmp and wrappers >= native for every package: %b\n"
+    ordered
+
+let fig11 times =
+  section "Fig. 11: build overhead of NFS and compiler wrappers (% of native)";
+  Printf.printf "%-10s %18s %18s %16s %16s\n" "package" "NFS+wrap (ours)"
+    "NFS+wrap (paper)" "wrap (ours)" "wrap (paper)";
+  let avg_nfs = ref 0.0 and avg_wrap = ref 0.0 in
+  List.iter2
+    (fun (name, t) (_, paper_nfs, paper_wrap) ->
+      let nfs_over = 100.0 *. ((t.nfs_w /. t.tmp_nw) -. 1.0) in
+      let wrap_over = 100.0 *. ((t.tmp_w /. t.tmp_nw) -. 1.0) in
+      avg_nfs := !avg_nfs +. nfs_over;
+      avg_wrap := !avg_wrap +. wrap_over;
+      Printf.printf "%-10s %17.1f%% %17.1f%% %15.1f%% %15.1f%%\n" name nfs_over
+        paper_nfs wrap_over paper_wrap)
+    times fig10_packages;
+  let n = float_of_int (List.length times) in
+  Printf.printf
+    "-> mean overheads: NFS+wrappers %.1f%% (paper ~33%%), wrappers %.1f%% \
+     (paper ~10%%)\n"
+    (!avg_nfs /. n) (!avg_wrap /. n);
+  let wrap_of name =
+    let _, t = List.find (fun (n, _) -> n = name) times in
+    (t.tmp_w /. t.tmp_nw) -. 1.0
+  in
+  Printf.printf "-> dyninst has the smallest wrapper overhead: %b\n"
+    (List.for_all
+       (fun (name, _, _) ->
+         name = "dyninst" || wrap_of "dyninst" <= wrap_of name)
+       fig10_packages)
+
+(* ------------------------------------------------------------------ *)
+
+let ablation () =
+  section "Ablation: greedy vs backtracking concretization (§4.5)";
+  let family n =
+    let open Ospack_package.Package in
+    let providers =
+      List.init n (fun i ->
+          make_pkg
+            (Printf.sprintf "impl-%c" (Char.chr (Char.code 'a' + i)))
+            [
+              version "1.0";
+              provides "iface";
+              depends_on (if i = n - 1 then "leafdep@2.0" else "leafdep@1.0");
+            ])
+    in
+    Repository.create
+      (providers
+      @ [
+          make_pkg "leafdep" [ version "1.0"; version "2.0" ];
+          make_pkg "top"
+            [ version "1.0"; depends_on "iface"; depends_on "leafdep@2.0" ];
+        ])
+  in
+  Printf.printf "%-12s %-10s %-14s %s\n" "providers" "greedy" "backtracking"
+    "greedy runs used";
+  List.iter
+    (fun n ->
+      let ctx = Concretizer.make_ctx ~compilers:Universe.compilers (family n) in
+      let ast = Parser.parse_exn "top" in
+      let greedy = Result.is_ok (Concretizer.concretize ctx ast) in
+      let bt, dt =
+        time_it (fun () -> Concretizer.concretize_backtracking ctx ast)
+      in
+      Printf.printf "%-12d %-10s %-14s %d runs, %.2f ms\n" n
+        (if greedy then "ok" else "conflict")
+        (if Result.is_ok bt then "ok" else "fail")
+        (Concretizer.last_run_count ())
+        (1000.0 *. dt))
+    [ 2; 4; 8; 16 ];
+  let ctx = universe_ctx () in
+  let ast = Parser.parse_exn "ares" in
+  let _, greedy_t = time_it (fun () -> Concretizer.concretize ctx ast) in
+  let _, bt_t =
+    time_it (fun () -> Concretizer.concretize_backtracking ctx ast)
+  in
+  Printf.printf
+    "ares: greedy %.2f ms, backtracking wrapper %.2f ms (1 run — no \
+     regression on the happy path)\n"
+    (1000.0 *. greedy_t) (1000.0 *. bt_t);
+  (* second ablation: the precomputed provider index (paper §3.4, "building
+     a reverse index from virtual packages to providers") vs rebuilding it
+     for every concretization *)
+  let n = 200 in
+  let mpileaks = Parser.parse_exn "mpileaks" in
+  let _, with_index =
+    time_it (fun () ->
+        for _ = 1 to n do
+          ignore (Concretizer.concretize ctx mpileaks)
+        done)
+  in
+  let _, without_index =
+    time_it (fun () ->
+        for _ = 1 to n do
+          let fresh = universe_ctx () in
+          ignore (Concretizer.concretize fresh mpileaks)
+        done)
+  in
+  Printf.printf
+    "provider index: %d concretizations in %.1f ms with a shared index vs \
+     %.1f ms rebuilding it each time (%.1fx)\n"
+    n (1000.0 *. with_index) (1000.0 *. without_index)
+    (without_index /. with_index);
+  (* third ablation: building from source vs pulling the binary cache *)
+  let vfs = Vfs.create () in
+  let repo = Universe.repository () in
+  let cache = Ospack_store.Buildcache.create vfs ~root:"/bc" in
+  let builder = Installer.create ~vfs ~repo ~compilers:Universe.compilers () in
+  let spec =
+    match Concretizer.concretize_string ctx "mpileaks ^mvapich2@1.9" with
+    | Ok c -> c
+    | Error e -> failwith e
+  in
+  (match Installer.install builder spec with
+  | Ok _ -> ()
+  | Error e -> failwith e);
+  let built_seconds = Installer.total_build_seconds builder in
+  (match Installer.push_to_cache builder cache with
+  | Ok _ -> ()
+  | Error e -> failwith e);
+  let puller =
+    Installer.create ~install_root:"/pulled" ~cache ~vfs ~repo
+      ~compilers:Universe.compilers ()
+  in
+  let (_ : (Installer.outcome list, string) result), pull_wall =
+    time_it (fun () -> Installer.install puller spec)
+  in
+  Printf.printf
+    "binary cache: source build simulates %.0f s; cache pull simulates 0 s \
+     (%.1f ms of real extraction+relocation work)\n"
+    built_seconds (1000.0 *. pull_wall)
+
+(* ------------------------------------------------------------------ *)
+
+let micro () =
+  section "Micro-benchmarks (bechamel)";
+  let open Bechamel in
+  let ctx = universe_ctx () in
+  let mpileaks_ast = Parser.parse_exn "mpileaks ^mvapich2@1.9 ^libelf@0.8.12" in
+  let ares_ast = Parser.parse_exn "ares" in
+  let node_a = (Parser.parse_exn "p@1.2:1.4%gcc@4.7+debug=bgq").Ast.root in
+  let node_b = (Parser.parse_exn "p@1.3:%gcc~shared").Ast.root in
+  let payload = String.make 4096 'x' in
+  let tests =
+    [
+      Test.make ~name:"spec-parse (long form)"
+        (Staged.stage (fun () ->
+             ignore
+               (Parser.parse
+                  "mpileaks @1.2:1.4 %gcc@4.7.3 -debug =bgq ^callpath @1.1 \
+                   ^openmpi @1.4.7")));
+      Test.make ~name:"constraint-intersect"
+        (Staged.stage (fun () ->
+             ignore (Constraint_ops.intersect_node node_a node_b)));
+      Test.make ~name:"concretize mpileaks (6 nodes)"
+        (Staged.stage (fun () ->
+             ignore (Concretizer.concretize ctx mpileaks_ast)));
+      Test.make ~name:"concretize ares (47 nodes)"
+        (Staged.stage (fun () -> ignore (Concretizer.concretize ctx ares_ast)));
+      Test.make ~name:"sha256 (4 KiB)"
+        (Staged.stage (fun () -> ignore (Sha256.hex_digest payload)));
+      Test.make ~name:"version-compare"
+        (Staged.stage
+           (let a = Version.of_string "1.2.3.4" in
+            let b = Version.of_string "1.2.4" in
+            fun () -> ignore (Version.compare a b)));
+    ]
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:(Some 500) ()
+  in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg [ instance ] test in
+      let analyzed = Analyze.all ols instance results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some [ est ] ->
+              if est > 1_000_000.0 then
+                Printf.printf "%-40s %10.3f ms/run\n" name (est /. 1e6)
+              else if est > 1_000.0 then
+                Printf.printf "%-40s %10.3f us/run\n" name (est /. 1e3)
+              else Printf.printf "%-40s %10.1f ns/run\n" name est
+          | _ -> Printf.printf "%-40s (no estimate)\n" name)
+        analyzed)
+    tests
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Printf.printf
+    "ospack benchmark harness — reproduces every table and figure of the \
+     Spack SC'15 evaluation\n";
+  table1 ();
+  table2 ();
+  table3 ();
+  fig5 ();
+  fig8 ();
+  fig9 ();
+  let times = simulate_builds () in
+  fig10 times;
+  fig11 times;
+  ablation ();
+  micro ();
+  print_newline ()

@@ -1,0 +1,468 @@
+(* The ospack command-line interface: the spack commands of the paper over
+   an in-memory context (fresh per process — installs land in the virtual
+   filesystem and are reported, not persisted). *)
+
+open Cmdliner
+module Concrete = Ospack_spec.Concrete
+module Database = Ospack_store.Database
+module Installer = Ospack_store.Installer
+
+(* a real-filesystem site configuration file, layered over the defaults
+   when present (e.g. providers.mpi, compiler_order, externals entries) *)
+let config_from_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let content = really_input_string ic n in
+  close_in ic;
+  match Ospack_config.Config.parse content with
+  | Ok cfg ->
+      Ok
+        (Ospack_config.Config.layer
+           [ cfg; Ospack_repo.Universe.default_config ])
+  | Error e -> Error (Printf.sprintf "%s: %s" path e)
+
+let make_ctx ?config_file () =
+  match config_file with
+  | None -> Ok (Ospack.Context.create ~cache_root:"/ospack/buildcache" ())
+  | Some path ->
+      Result.map
+        (fun config ->
+          Ospack.Context.create ~config ~cache_root:"/ospack/buildcache" ())
+        (config_from_file path)
+
+let ctx = lazy (Ospack.Context.create ~cache_root:"/ospack/buildcache" ())
+
+let report_error e =
+  Format.eprintf "==> Error: %s@." e;
+  1
+
+let spec_arg =
+  Arg.(
+    non_empty & pos_all string []
+    & info [] ~docv:"SPEC" ~doc:"Package spec (paper Fig. 3 syntax).")
+
+let join_spec parts = String.concat " " parts
+
+let print_outcomes outcomes =
+  List.iter
+    (fun (o : Installer.outcome) ->
+      let r = o.Installer.o_record in
+      Format.printf "%s %s@."
+        (if o.Installer.o_reused then "[reused]   "
+         else if o.Installer.o_cached then "[cached]   "
+         else if r.Database.r_external then "[external] "
+         else "[installed]")
+        (Printf.sprintf "%s/%s -> %s"
+           (Concrete.node_to_string (Concrete.root_node r.Database.r_spec))
+           r.Database.r_hash r.Database.r_prefix))
+    outcomes
+
+let install_cmd =
+  let backtrack =
+    Arg.(
+      value & flag
+      & info [ "backtrack" ]
+          ~doc:"Fall back to the backtracking solver on greedy conflicts.")
+  in
+  let run backtrack parts =
+    let ctx = Lazy.force ctx in
+    match Ospack.install ~backtrack ctx (join_spec parts) with
+    | Ok report ->
+        Format.printf "==> concretized:@.%s@."
+          (Concrete.tree_string report.Ospack.Commands.ir_spec);
+        print_outcomes report.Ospack.Commands.ir_outcomes;
+        0
+    | Error e -> report_error e
+  in
+  Cmd.v
+    (Cmd.info "install" ~doc:"Concretize and install a spec.")
+    Term.(const run $ backtrack $ spec_arg)
+
+let spec_cmd =
+  let explain =
+    Arg.(
+      value & flag
+      & info [ "explain" ]
+          ~doc:"Also print the policy decisions concretization took.")
+  in
+  let run explain parts =
+    let ctx = Lazy.force ctx in
+    if explain then (
+      match Ospack.spec_explain ctx (join_spec parts) with
+      | Ok (c, decisions) ->
+          Format.printf "%s@." (Concrete.tree_string c);
+          List.iter (fun d -> Format.printf "  because: %s@." d) decisions;
+          0
+      | Error e -> report_error e)
+    else
+      match Ospack.spec ctx (join_spec parts) with
+      | Ok c ->
+          Format.printf "%s@." (Concrete.tree_string c);
+          0
+      | Error e -> report_error e
+  in
+  Cmd.v
+    (Cmd.info "spec" ~doc:"Show the concretized spec without installing.")
+    Term.(const run $ explain $ spec_arg)
+
+let graph_cmd =
+  let dot =
+    Arg.(value & flag & info [ "dot" ] ~doc:"Emit Graphviz format.")
+  in
+  let run dot parts =
+    let ctx = Lazy.force ctx in
+    let result =
+      if dot then Ospack.graph_dot ctx (join_spec parts)
+      else Ospack.graph_tree ctx (join_spec parts)
+    in
+    match result with
+    | Ok text ->
+        print_string text;
+        0
+    | Error e -> report_error e
+  in
+  Cmd.v
+    (Cmd.info "graph" ~doc:"Show the dependency graph of a spec.")
+    Term.(const run $ dot $ spec_arg)
+
+let providers_cmd =
+  let run parts =
+    let ctx = Lazy.force ctx in
+    match Ospack.providers ctx (join_spec parts) with
+    | Ok entries ->
+        List.iter
+          (fun (e : Ospack_package.Provider_index.entry) ->
+            Format.printf "%s provides %s%s@."
+              e.Ospack_package.Provider_index.e_provider
+              (Ospack_spec.Printer.node_to_string
+                 e.Ospack_package.Provider_index.e_provided)
+              (match e.Ospack_package.Provider_index.e_when with
+              | None -> ""
+              | Some w ->
+                  " when " ^ Ospack_spec.Printer.to_string w))
+          entries;
+        0
+    | Error e -> report_error e
+  in
+  Cmd.v
+    (Cmd.info "providers" ~doc:"List providers of a virtual interface.")
+    Term.(const run $ spec_arg)
+
+let info_cmd =
+  let pkg_name =
+    Arg.(
+      required & pos 0 (some string) None
+      & info [] ~docv:"PACKAGE" ~doc:"Package name.")
+  in
+  let run pkg =
+    let ctx = Lazy.force ctx in
+    match Ospack.info ctx pkg with
+    | Ok text ->
+        print_string text;
+        0
+    | Error e -> report_error e
+  in
+  Cmd.v
+    (Cmd.info "info" ~doc:"Show package metadata.")
+    Term.(const run $ pkg_name)
+
+let list_cmd =
+  let substring =
+    Arg.(
+      value & pos 0 (some string) None
+      & info [] ~docv:"FILTER" ~doc:"Substring filter.")
+  in
+  let run substring =
+    let ctx = Lazy.force ctx in
+    List.iter print_endline (Ospack.list_packages ctx ?substring ());
+    0
+  in
+  Cmd.v
+    (Cmd.info "list" ~doc:"List available packages.")
+    Term.(const run $ substring)
+
+let compilers_cmd =
+  let run () =
+    let ctx = Lazy.force ctx in
+    List.iter print_endline (Ospack.compiler_list ctx);
+    0
+  in
+  Cmd.v
+    (Cmd.info "compilers" ~doc:"List registered compiler toolchains.")
+    Term.(const run $ const ())
+
+let demo_cmd =
+  (* install a stack, then show find/module/view output — exercises the
+     whole pipeline in one process since the context is in-memory *)
+  let run parts =
+    let ctx = Lazy.force ctx in
+    let spec = join_spec parts in
+    match Ospack.install ctx spec with
+    | Error e -> report_error e
+    | Ok report ->
+        Format.printf "==> installed %s@."
+          (Concrete.to_string report.Ospack.Commands.ir_spec);
+        print_outcomes report.Ospack.Commands.ir_outcomes;
+        (match Ospack.find ctx () with
+        | Ok records ->
+            Format.printf "@.==> spack find (%d installed):@."
+              (List.length records);
+            List.iter
+              (fun (r : Database.record) ->
+                Format.printf "    %s/%s@."
+                  (Concrete.node_to_string
+                     (Concrete.root_node r.Database.r_spec))
+                  r.Database.r_hash)
+              records
+        | Error e -> Format.eprintf "find failed: %s@." e);
+        (match Ospack.generate_modules ctx `Tcl with
+        | Ok paths ->
+            Format.printf "@.==> generated %d TCL module files@."
+              (List.length paths)
+        | Error e -> Format.eprintf "modules failed: %s@." e);
+        0
+  in
+  Cmd.v
+    (Cmd.info "demo"
+       ~doc:"Install a spec and walk the post-install workflow.")
+    Term.(const run $ spec_arg)
+
+(* `spack script FILE` — run a sequence of commands against one in-memory
+   store, so multi-step workflows (install, find, activate, view, gc) work
+   from the shell despite per-process state. Lines: `# comment`, or
+   `<command> [args...]`. *)
+let script_cmd =
+  let file =
+    Arg.(
+      required & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"Script of spack commands, one per line.")
+  in
+  let config_file =
+    Arg.(
+      value & opt (some file) None
+      & info [ "config" ] ~docv:"CONFIG"
+          ~doc:"Site configuration file layered over the built-in defaults.")
+  in
+  let run config_file file =
+    let ctx =
+      match make_ctx ?config_file () with
+      | Ok ctx -> ctx
+      | Error e ->
+          Format.eprintf "==> Error: %s@." e;
+          exit 1
+    in
+    let ic = open_in file in
+    let failures = ref 0 in
+    let errf fmt =
+      Format.ksprintf
+        (fun s ->
+          incr failures;
+          Format.printf "==> Error: %s@." s)
+        fmt
+    in
+    let show_records records =
+      List.iter
+        (fun (r : Database.record) ->
+          Format.printf "    %s/%s%s@."
+            (Concrete.node_to_string (Concrete.root_node r.Database.r_spec))
+            r.Database.r_hash
+            (if r.Database.r_external then " [external]" else ""))
+        records
+    in
+    (try
+       while true do
+         let line = String.trim (input_line ic) in
+         if line = "" || line.[0] = '#' then ()
+         else begin
+           Format.printf "@.spack> %s@." line;
+           let cmd, rest =
+             match String.index_opt line ' ' with
+             | None -> (line, "")
+             | Some i ->
+                 ( String.sub line 0 i,
+                   String.trim
+                     (String.sub line (i + 1) (String.length line - i - 1)) )
+           in
+           match cmd with
+           | "install" -> (
+               match Ospack.install ctx rest with
+               | Ok report -> print_outcomes report.Ospack.Commands.ir_outcomes
+               | Error e -> errf "%s" e)
+           | "spec" -> (
+               match Ospack.spec ctx rest with
+               | Ok c -> print_string (Concrete.tree_string c)
+               | Error e -> errf "%s" e)
+           | "find" -> (
+               let query = if rest = "" then None else Some rest in
+               match Ospack.find ctx ?query () with
+               | Ok records ->
+                   Format.printf "==> %d installed@." (List.length records);
+                   show_records records
+               | Error e -> errf "%s" e)
+           | "uninstall" -> (
+               match Ospack.uninstall ctx rest with
+               | Ok r ->
+                   Format.printf "==> removed %s/%s@."
+                     (Concrete.root r.Database.r_spec)
+                     r.Database.r_hash
+               | Error e -> errf "%s" e)
+           | "gc" -> (
+               match Ospack.gc ctx with
+               | Ok removed ->
+                   Format.printf "==> collected %d installs@."
+                     (List.length removed);
+                   show_records removed
+               | Error e -> errf "%s" e)
+           | "activate" -> (
+               match Ospack.activate ctx rest with
+               | Ok rels ->
+                   Format.printf "==> activated %s (%d files)@." rest
+                     (List.length rels)
+               | Error e -> errf "%s" e)
+           | "deactivate" -> (
+               match Ospack.deactivate ctx rest with
+               | Ok _ -> Format.printf "==> deactivated %s@." rest
+               | Error e -> errf "%s" e)
+           | "view" -> (
+               match Ospack.view ctx ~rules:[ rest ] with
+               | Ok reports ->
+                   List.iter
+                     (fun r ->
+                       Format.printf "    %s -> %s@."
+                         r.Ospack_views.View.lr_link
+                         r.Ospack_views.View.lr_target)
+                     reports
+               | Error e -> errf "%s" e)
+           | "view-merge" -> (
+               match Ospack.view_merge ctx ~view_root:rest with
+               | Ok report ->
+                   Format.printf "==> %d files linked, %d conflicts@."
+                     report.Ospack_views.View.mr_linked
+                     (List.length report.Ospack_views.View.mr_conflicts)
+               | Error e -> errf "%s" e)
+           | "module" -> (
+               let flavor =
+                 match rest with
+                 | "dotkit" -> Ok `Dotkit
+                 | "lmod" -> Ok `Lmod
+                 | "tcl" | "" -> Ok `Tcl
+                 | other -> Error other
+               in
+               match flavor with
+               | Error other -> errf "unknown module flavor %s" other
+               | Ok flavor -> (
+                   match Ospack.generate_modules ctx flavor with
+                   | Ok paths ->
+                       Format.printf "==> wrote %d module files@."
+                         (List.length paths)
+                   | Error e -> errf "%s" e))
+           | "providers" -> (
+               match Ospack.providers ctx rest with
+               | Ok entries ->
+                   List.iter
+                     (fun (e : Ospack_package.Provider_index.entry) ->
+                       Format.printf "    %s@."
+                         e.Ospack_package.Provider_index.e_provider)
+                     entries
+               | Error e -> errf "%s" e)
+           | "diff" -> (
+               (* diff SPEC-A | SPEC-B *)
+               match String.index_opt rest '|' with
+               | None -> errf "usage: diff SPEC-A | SPEC-B"
+               | Some i -> (
+                   let a = String.trim (String.sub rest 0 i) in
+                   let b =
+                     String.trim
+                       (String.sub rest (i + 1) (String.length rest - i - 1))
+                   in
+                   match Ospack.diff ctx a b with
+                   | Ok [] -> Format.printf "==> identical configurations@."
+                   | Ok lines ->
+                       List.iter (fun l -> Format.printf "    %s@." l) lines
+                   | Error e -> errf "%s" e))
+           | "cache-push" -> (
+               match Ospack.buildcache_push ctx with
+               | Ok n -> Format.printf "==> %d entries in the cache@." n
+               | Error e -> errf "%s" e)
+           | "verify" -> (
+               let query = if rest = "" then None else Some rest in
+               match Ospack.verify ctx ?query () with
+               | Ok reports ->
+                   List.iter
+                     (fun ((r : Database.record), report) ->
+                       let module P = Ospack_store.Provenance in
+                       if P.report_clean report then
+                         Format.printf "    %s/%s: clean@."
+                           (Concrete.root r.Database.r_spec)
+                           r.Database.r_hash
+                       else
+                         Format.printf
+                           "    %s/%s: %d missing, %d modified, %d extra@."
+                           (Concrete.root r.Database.r_spec)
+                           r.Database.r_hash
+                           (List.length report.P.vr_missing)
+                           (List.length report.P.vr_modified)
+                           (List.length report.P.vr_extra))
+                     reports
+               | Error e -> errf "%s" e)
+           | "env-create" -> (
+               match Ospack.Environment.create ctx ~name:rest () with
+               | Ok _ -> Format.printf "==> created environment %s@." rest
+               | Error e -> errf "%s" e)
+           | "env-add" -> (
+               (* env-add NAME SPEC *)
+               match String.index_opt rest ' ' with
+               | None -> errf "usage: env-add NAME SPEC"
+               | Some i -> (
+                   let name = String.sub rest 0 i in
+                   let spec =
+                     String.trim
+                       (String.sub rest (i + 1) (String.length rest - i - 1))
+                   in
+                   match Ospack.Environment.load ctx ~name with
+                   | Error e -> errf "%s" e
+                   | Ok env -> (
+                       match Ospack.Environment.add ctx env spec with
+                       | Ok _ -> Format.printf "==> %s += %s@." name spec
+                       | Error e -> errf "%s" e)))
+           | "env-install" -> (
+               match Ospack.Environment.load ctx ~name:rest with
+               | Error e -> errf "%s" e
+               | Ok env -> (
+                   match Ospack.Environment.install ctx env with
+                   | Ok reports ->
+                       Format.printf
+                         "==> installed %d roots (lockfile written)@."
+                         (List.length reports)
+                   | Error e -> errf "%s" e))
+           | "env-status" -> (
+               match Ospack.Environment.load ctx ~name:rest with
+               | Error e -> errf "%s" e
+               | Ok env ->
+                   List.iter
+                     (fun (root, installed) ->
+                       Format.printf "    %-30s %s@." root
+                         (if installed then "[installed]" else "[missing]"))
+                     (Ospack.Environment.status ctx env))
+           | "echo" -> Format.printf "%s@." rest
+           | other -> errf "unknown script command: %s" other
+         end
+       done
+     with End_of_file -> close_in ic);
+    if !failures = 0 then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "script"
+       ~doc:"Run a file of spack commands against one in-memory store.")
+    Term.(const run $ config_file $ file)
+
+let main =
+  Cmd.group
+    (Cmd.info "spack" ~version:"ospack-1.0"
+       ~doc:"OCaml reproduction of the Spack package manager (SC'15).")
+    [
+      install_cmd; spec_cmd; graph_cmd; providers_cmd; info_cmd; list_cmd;
+      compilers_cmd; demo_cmd; script_cmd;
+    ]
+
+let () = exit (Cmd.eval' main)

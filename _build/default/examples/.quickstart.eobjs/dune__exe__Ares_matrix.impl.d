@@ -1,0 +1,1 @@
+examples/ares_matrix.ml: List Ospack_concretize Ospack_config Ospack_dag Ospack_repo Ospack_spec Ospack_version Printf String

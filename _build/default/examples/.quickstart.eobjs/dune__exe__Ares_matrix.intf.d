@@ -1,0 +1,1 @@
+examples/ares_matrix.mli:

@@ -1,0 +1,1 @@
+examples/combinatorial.ml: Astring List Ospack Ospack_spec Ospack_store Printf

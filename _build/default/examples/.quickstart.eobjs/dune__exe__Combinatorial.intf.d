@@ -1,0 +1,1 @@
+examples/combinatorial.mli:

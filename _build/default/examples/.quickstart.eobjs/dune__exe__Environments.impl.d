@@ -1,0 +1,1 @@
+examples/environments.ml: List Ospack Ospack_spec Ospack_store Ospack_vfs Printf String

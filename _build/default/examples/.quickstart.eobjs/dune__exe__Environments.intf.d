@@ -1,0 +1,1 @@
+examples/environments.mli:

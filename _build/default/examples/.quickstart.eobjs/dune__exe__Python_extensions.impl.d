@@ -1,0 +1,1 @@
+examples/python_extensions.ml: List Ospack Ospack_repo Ospack_spec Ospack_store Ospack_vfs Ospack_views Printf String

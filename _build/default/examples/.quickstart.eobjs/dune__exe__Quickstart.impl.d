@@ -1,0 +1,1 @@
+examples/quickstart.ml: List Ospack Ospack_spec Ospack_store Printf

@@ -1,0 +1,1 @@
+examples/site_policies.ml: Astring List Ospack Ospack_config Ospack_layout Ospack_package Ospack_repo Ospack_spec Ospack_store Ospack_vfs Ospack_views Printf

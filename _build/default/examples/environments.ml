@@ -1,0 +1,89 @@
+(* Environments: a manifest of root specs managed together — the
+   composition of the paper's machinery (concretization, hashed installs,
+   lockfile provenance like §3.4.3, merged views like §4.3.1) into the
+   workflow HPC teams actually run.
+
+   Run with: dune exec examples/environments.exe *)
+
+module Environment = Ospack.Environment
+module Concrete = Ospack_spec.Concrete
+module Database = Ospack_store.Database
+module Installer = Ospack_store.Installer
+module Vfs = Ospack_vfs.Vfs
+
+let section title = Printf.printf "\n=== %s ===\n%!" title
+
+let ok = function
+  | Ok x -> x
+  | Error e ->
+      prerr_endline e;
+      exit 1
+
+let () =
+  let ctx = Ospack.Context.create () in
+
+  section "Create a 'tools' environment with a merged view";
+  let env = ok (Environment.create ctx ~name:"tools" ~view:"/opt/tools" ()) in
+  let env = ok (Environment.add ctx env "stat +gui") in
+  let env = ok (Environment.add ctx env "mpileaks ^mvapich2@1.9") in
+  let env = ok (Environment.add ctx env "tau") in
+  List.iter
+    (fun (root, installed) ->
+      Printf.printf "  %-28s installed=%b\n" root installed)
+    (Environment.status ctx env);
+
+  section "Install the environment (roots share sub-DAGs)";
+  let reports = ok (Environment.install ctx env) in
+  List.iter
+    (fun r ->
+      let built, reused =
+        List.partition
+          (fun o -> not o.Installer.o_reused)
+          r.Ospack.Commands.ir_outcomes
+      in
+      Printf.printf "  %-45s built %2d, reused %2d\n"
+        (Concrete.node_to_string (Concrete.root_node r.Ospack.Commands.ir_spec))
+        (List.length built) (List.length reused))
+    reports;
+  List.iter
+    (fun (root, installed) ->
+      Printf.printf "  %-28s installed=%b\n" root installed)
+    (Environment.status ctx env);
+
+  section "The merged view is one usable tree";
+  (match Vfs.ls ctx.Ospack.Context.vfs "/opt/tools/bin" with
+  | Ok entries ->
+      Printf.printf "/opt/tools/bin: %d tools (%s ...)\n" (List.length entries)
+        (String.concat " "
+           (List.filteri (fun i _ -> i < 6) entries))
+  | Error _ -> ());
+
+  section "The lockfile records the exact concrete DAGs";
+  let locked = ok (Environment.locked_specs ctx env) in
+  List.iter
+    (fun c ->
+      Printf.printf "  %s (%d nodes, hash %s)\n"
+        (Concrete.node_to_string (Concrete.root_node c))
+        (Concrete.node_count c) (Concrete.root_hash c))
+    locked;
+
+  section "Wipe the store; replay the lockfile byte-for-byte";
+  let db = Installer.database ctx.Ospack.Context.installer in
+  List.iter
+    (fun (r : Database.record) ->
+      if r.Database.r_explicit then
+        ignore (Ospack.uninstall ctx ("/" ^ r.Database.r_hash)))
+    (Database.all db);
+  ignore (ok (Ospack.gc ctx));
+  Printf.printf "store after gc: %d records\n" (Database.count db);
+  let runs = ok (Environment.install_locked ctx env) in
+  Printf.printf "locked replay reinstalled %d roots; store back to %d records\n"
+    (List.length runs) (Database.count db);
+  List.iter2
+    (fun locked_spec run ->
+      let root = List.nth run (List.length run - 1) in
+      Printf.printf "  %-12s lock %s == installed %s\n"
+        (Concrete.root locked_spec)
+        (Concrete.root_hash locked_spec)
+        root.Installer.o_record.Database.r_hash)
+    locked runs

@@ -1,0 +1,93 @@
+(* Interpreted-language support (paper §4.2): Python builds from source,
+   extensions install into their own prefixes, and activate/deactivate
+   symlink them into the interpreter as if installed directly — with
+   path-index files merged rather than conflicting.
+
+   Run with: dune exec examples/python_extensions.exe *)
+
+module Concrete = Ospack_spec.Concrete
+module Database = Ospack_store.Database
+module Vfs = Ospack_vfs.Vfs
+module Pkgs_python = Ospack_repo.Pkgs_python
+
+let section title = Printf.printf "\n=== %s ===\n%!" title
+
+let () =
+  let ctx = Ospack.Context.create () in
+
+  section "Install the Python stack";
+  List.iter
+    (fun spec ->
+      match Ospack.install ctx spec with
+      | Ok report ->
+          Printf.printf "installed %s (%d nodes)\n" spec
+            (Concrete.node_count report.Ospack.ir_spec)
+      | Error e -> Printf.printf "%s FAILED: %s\n" spec e)
+    [ "py-numpy"; "py-scipy"; "py-matplotlib" ];
+
+  let python_prefix =
+    match Ospack.find ctx ~query:"python" () with
+    | Ok [ r ] -> r.Database.r_prefix
+    | _ -> failwith "expected exactly one python"
+  in
+  Printf.printf "python prefix: %s\n" python_prefix;
+
+  section "Each extension lives in its own prefix (combinatorial versioning)";
+  (match Ospack.find ctx () with
+  | Ok records ->
+      List.iter
+        (fun (r : Database.record) ->
+          let name = Concrete.root r.Database.r_spec in
+          if String.length name > 3 && String.sub name 0 3 = "py-" then
+            Printf.printf "  %-40s %s\n"
+              (Concrete.node_to_string (Concrete.root_node r.Database.r_spec))
+              r.Database.r_prefix)
+        records
+  | Error e -> prerr_endline e);
+
+  section "Activate numpy and scipy into the interpreter (§4.2)";
+  List.iter
+    (fun ext ->
+      match Ospack.activate ctx ext with
+      | Ok rels -> Printf.printf "activated %s (%d files)\n" ext (List.length rels)
+      | Error e -> Printf.printf "activate %s FAILED: %s\n" ext e)
+    [ "py-numpy"; "py-scipy" ];
+
+  section "The interpreter prefix now sees both, pth files merged";
+  let site = python_prefix ^ "/" ^ Pkgs_python.site_packages in
+  (match Vfs.ls ctx.Ospack.Context.vfs site with
+  | Ok entries ->
+      List.iter (fun e -> Printf.printf "  site-packages/%s\n" e) entries
+  | Error e -> prerr_endline (Vfs.error_to_string e));
+  (match
+     Vfs.read_file ctx.Ospack.Context.vfs
+       (python_prefix ^ "/" ^ Pkgs_python.pth_file)
+   with
+  | Ok content ->
+      print_endline "merged extensions.pth:";
+      print_string content
+  | Error e -> prerr_endline (Vfs.error_to_string e));
+
+  section "Conflicting activation fails atomically";
+  (match Ospack.activate ctx "py-numpy" with
+  | Ok _ -> print_endline "unexpected!"
+  | Error e -> Printf.printf "as expected: %s\n" e);
+
+  section "Deactivate numpy: scipy remains, numpy's lines are gone";
+  (match Ospack.deactivate ctx "py-numpy" with
+  | Ok _ -> print_endline "deactivated py-numpy"
+  | Error e -> prerr_endline e);
+  (match
+     Vfs.read_file ctx.Ospack.Context.vfs
+       (python_prefix ^ "/" ^ Pkgs_python.pth_file)
+   with
+  | Ok content ->
+      print_endline "extensions.pth after deactivation:";
+      print_string content
+  | Error e -> prerr_endline (Vfs.error_to_string e));
+
+  section "Active extensions registry";
+  List.iter
+    (fun (name, prefix) -> Printf.printf "  %s -> %s\n" name prefix)
+    (Ospack_views.Extensions.active ctx.Ospack.Context.vfs
+       ~target_prefix:python_prefix)

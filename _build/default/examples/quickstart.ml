@@ -1,0 +1,106 @@
+(* Quickstart: the paper's running example, end to end.
+
+   - define a package with the DSL (paper Fig. 1),
+   - parse abstract specs of increasing constraint (Fig. 2a-c, Table 2),
+   - concretize them (Fig. 6 -> Fig. 7),
+   - install, inspect hashes and prefixes, and demonstrate reuse.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+module Concrete = Ospack_spec.Concrete
+module Parser = Ospack_spec.Parser
+module Printer = Ospack_spec.Printer
+module Database = Ospack_store.Database
+module Installer = Ospack_store.Installer
+
+let section title =
+  Printf.printf "\n=== %s ===\n%!" title
+
+let () =
+  (* A context over the built-in universe: 245 packages, the LLNL-flavored
+     site config, and the full toolchain registry. *)
+  let ctx = Ospack.Context.create () in
+
+  section "The mpileaks package (paper Fig. 1)";
+  (match Ospack.info ctx "mpileaks" with
+  | Ok text -> print_string text
+  | Error e -> prerr_endline e);
+
+  section "Abstract specs (paper Fig. 2, Table 2)";
+  List.iter
+    (fun spec ->
+      match Parser.parse spec with
+      | Ok ast ->
+          Printf.printf "%-55s parsed as %s\n" spec (Printer.to_string ast)
+      | Error e -> Printf.printf "%-55s ERROR %s\n" spec e)
+    [
+      "mpileaks";
+      "mpileaks@1.1.2";
+      "mpileaks@1.1.2 %gcc";
+      "mpileaks@1.1.2 %intel@14.1 +debug";
+      "mpileaks@1.1.2 =bgq";
+      "mpileaks@1.1.2 ^mvapich2@1.9";
+      "mpileaks @1.2:1.4 %gcc@4.7.3 -debug =bgq ^callpath @1.1 ^openmpi @1.4.7";
+    ];
+
+  section "Concretization (paper Fig. 6): abstract -> concrete";
+  (match Ospack.spec ctx "mpileaks@1.0 ^callpath@1.0+debug ^libelf@0.8.12" with
+  | Ok c ->
+      print_string (Concrete.tree_string c);
+      Printf.printf "\nroot dag hash: %s\n" (Concrete.root_hash c)
+  | Error e -> prerr_endline e);
+
+  section "Greedy conflicts are reported, not searched (paper §3.4)";
+  (match Ospack.spec ctx "gerris ^mpich@1.4.1" with
+  | Ok _ -> print_endline "unexpectedly concretized"
+  | Error e -> Printf.printf "as expected: %s\n" e);
+
+  section "Installation: bottom-up, hashed prefixes (paper §3.4.2)";
+  (match Ospack.install ctx "mpileaks ^mvapich2@1.9" with
+  | Ok report ->
+      List.iter
+        (fun (o : Installer.outcome) ->
+          let r = o.Installer.o_record in
+          Printf.printf "%-11s %-28s -> %s\n"
+            (if o.Installer.o_reused then "[reused]" else "[installed]")
+            (Printf.sprintf "%s/%s"
+               (Concrete.root r.Database.r_spec)
+               r.Database.r_hash)
+            r.Database.r_prefix)
+        report.Ospack.ir_outcomes
+  | Error e -> prerr_endline e);
+
+  section "A second configuration coexists; shared sub-DAGs are reused (Fig. 9)";
+  (match Ospack.install ctx "mpileaks ^openmpi" with
+  | Ok report ->
+      List.iter
+        (fun (o : Installer.outcome) ->
+          let r = o.Installer.o_record in
+          Printf.printf "%-11s %s/%s\n"
+            (if o.Installer.o_reused then "[reused]" else "[installed]")
+            (Concrete.root r.Database.r_spec)
+            r.Database.r_hash)
+        report.Ospack.ir_outcomes
+  | Error e -> prerr_endline e);
+
+  section "spack find";
+  (match Ospack.find ctx () with
+  | Ok records ->
+      List.iter
+        (fun (r : Database.record) ->
+          Printf.printf "  %s\n"
+            (Concrete.node_to_string (Concrete.root_node r.Database.r_spec)))
+        records
+  | Error e -> prerr_endline e);
+
+  section "Provenance: every prefix records how it was built (§3.4.3)";
+  match Ospack.find ctx ~query:"mpileaks ^openmpi" () with
+  | Ok [ r ] ->
+      let prefix = r.Database.r_prefix in
+      (match
+         Ospack_store.Provenance.read_spec ctx.Ospack.Context.vfs ~prefix
+       with
+      | Some line -> Printf.printf "stored spec: %s\n" line
+      | None -> print_endline "no provenance?")
+  | Ok rs -> Printf.printf "expected exactly one match, got %d\n" (List.length rs)
+  | Error e -> prerr_endline e

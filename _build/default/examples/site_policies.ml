@@ -1,0 +1,123 @@
+(* User and site policies (paper §4.3): naming conventions (Table 1),
+   concretization preferences, views with conflict resolution, module-file
+   generation, and site package repositories.
+
+   Run with: dune exec examples/site_policies.exe *)
+
+module Concrete = Ospack_spec.Concrete
+module Config = Ospack_config.Config
+module Layout = Ospack_layout.Layout
+module Database = Ospack_store.Database
+module View = Ospack_views.View
+module Vfs = Ospack_vfs.Vfs
+
+let section title = Printf.printf "\n=== %s ===\n%!" title
+
+let () =
+  let ctx = Ospack.Context.create () in
+
+  section "Table 1: one configuration under every site's convention";
+  (match Ospack.spec ctx "mpileaks ^mvapich2@1.9" with
+  | Ok c ->
+      List.iter
+        (fun (name, scheme) ->
+          let root =
+            match scheme with
+            | Layout.Llnl_usr_global -> "/usr/global/tools"
+            | Layout.Llnl_usr_local -> "/usr/local/tools"
+            | _ -> ""
+          in
+          Printf.printf "%-22s %s\n" name (Layout.path scheme ~root c))
+        Layout.all_schemes
+  | Error e -> prerr_endline e);
+
+  section "Site policy: prefer intel, and openmpi for mpi (§3.4.4, §4.3.1)";
+  let site_config =
+    Config.layer
+      [
+        Config.of_assoc
+          [
+            ("compiler_order", "intel, gcc@4.9.2");
+            ("providers.mpi", "openmpi");
+            ("packages.libelf.version", "0.8.12");
+          ];
+        Ospack_repo.Universe.default_config;
+      ]
+  in
+  let site_ctx = Ospack.Context.create ~config:site_config () in
+  (match Ospack.spec site_ctx "mpileaks" with
+  | Ok c -> print_string (Concrete.tree_string c)
+  | Error e -> prerr_endline e);
+
+  section "Views (§4.3.1): human-readable projections of the install tree";
+  List.iter
+    (fun spec -> ignore (Ospack.install ctx spec))
+    [ "mpileaks ^mvapich2@1.9"; "mpileaks ^openmpi"; "mpileaks %intel ^openmpi" ];
+  (match
+     Ospack.view ctx
+       ~rules:
+         [
+           "/opt/views/${PACKAGE}-${VERSION}-${MPINAME}";
+           "/opt/views/${PACKAGE}";
+         ]
+   with
+  | Ok reports ->
+      List.iter
+        (fun r ->
+          Printf.printf "%-45s -> %s%s\n" r.View.lr_link r.View.lr_target
+            (match r.View.lr_shadowed with
+            | [] -> ""
+            | s -> Printf.sprintf "  (shadows %d)" (List.length s)))
+        reports
+  | Error e -> prerr_endline e);
+
+  section "The ambiguous /opt/views/mpileaks link obeys compiler_order";
+  let pref_ctx_reports =
+    let prefer_intel =
+      Config.layer
+        [
+          Config.of_assoc [ ("compiler_order", "intel, gcc") ];
+          Ospack_repo.Universe.default_config;
+        ]
+    in
+    let ctx2 = Ospack.Context.create ~config:prefer_intel () in
+    List.iter
+      (fun spec -> ignore (Ospack.install ctx2 spec))
+      [ "mpileaks ^openmpi"; "mpileaks %intel ^openmpi" ];
+    match Ospack.view ctx2 ~rules:[ "/opt/views/${PACKAGE}" ] with
+    | Ok reports -> reports
+    | Error e ->
+        prerr_endline e;
+        []
+  in
+  List.iter
+    (fun r ->
+      Printf.printf "%s -> %s\n" r.View.lr_link r.View.lr_target)
+    pref_ctx_reports;
+
+  section "Module files (§3.5.4): dotkit, TCL, and an Lmod hierarchy";
+  (match Ospack.generate_modules ctx `Lmod with
+  | Ok paths ->
+      List.iter
+        (fun p ->
+          if Astring.String.is_infix ~affix:"mpileaks" p then
+            Printf.printf "  %s\n" p)
+        paths
+  | Error e -> prerr_endline e);
+
+  section "A site repository shadows built-in packages (§4.3.2)";
+  let site_pkg =
+    Ospack_package.Package.(
+      make_pkg "libelf"
+        ~description:"site-patched libelf with the classified bits"
+        [ version "0.8.13-llnl"; version "0.8.13" ])
+  in
+  let shadow_ctx = Ospack.Context.with_site_packages ctx [ site_pkg ] in
+  match Ospack.spec shadow_ctx "libelf" with
+  | Ok c ->
+      Printf.printf "site libelf concretizes to %s (source: %s)\n"
+        (Concrete.node_to_string (Concrete.root_node c))
+        (match Ospack_package.Repository.find shadow_ctx.Ospack.Context.repo "libelf" with
+        | Some p -> p.Ospack_package.Package.p_source
+        | None -> "?")
+  | Error e -> prerr_endline e

@@ -1,0 +1,1 @@
+lib/concretize/cerror.ml: Format Ospack_spec Printf String

@@ -1,0 +1,1 @@
+lib/concretize/cerror.mli: Format Ospack_spec

@@ -1,0 +1,1 @@
+lib/concretize/concretizer.ml: Bool Cerror Format Hashtbl List Option Ospack_config Ospack_package Ospack_spec Ospack_version Printf Queue Result Set String

@@ -1,0 +1,1 @@
+lib/concretize/concretizer.mli: Cerror Ospack_config Ospack_package Ospack_spec

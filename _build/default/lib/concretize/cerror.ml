@@ -1,0 +1,40 @@
+type t =
+  | Conflict of Ospack_spec.Constraint_ops.conflict
+  | Unknown_package of string
+  | Unknown_variant of { package : string; variant : string }
+  | No_provider of { virtual_ : string; constraint_ : string }
+  | No_compiler of { package : string; requested : string; arch : string }
+  | No_version of { package : string; constraint_ : string }
+  | Conflict_declared of { package : string; spec : string; msg : string }
+  | Unused_constraint of { package : string; root : string }
+  | Cycle of string list
+  | Not_converged of { iterations : int }
+
+exception Error of t
+
+let to_string = function
+  | Conflict c -> Ospack_spec.Constraint_ops.conflict_to_string c
+  | Unknown_package p -> Printf.sprintf "unknown package: %s" p
+  | Unknown_variant { package; variant } ->
+      Printf.sprintf "package %s has no variant %s" package variant
+  | No_provider { virtual_; constraint_ } ->
+      Printf.sprintf "no provider of %s satisfies %s" virtual_ constraint_
+  | No_compiler { package; requested; arch } ->
+      Printf.sprintf "no compiler matching %s available for %s on %s"
+        requested package arch
+  | No_version { package; constraint_ } ->
+      Printf.sprintf "no known version of %s satisfies @%s" package
+        constraint_
+  | Conflict_declared { package; spec; msg } ->
+      Printf.sprintf "package %s conflicts with %s%s" package spec
+        (if msg = "" then "" else ": " ^ msg)
+  | Unused_constraint { package; root } ->
+      Printf.sprintf "constraint on ^%s is unused: %s is not a dependency of %s"
+        package package root
+  | Cycle cycle ->
+      Printf.sprintf "circular dependency: %s" (String.concat " -> " cycle)
+  | Not_converged { iterations } ->
+      Printf.sprintf "concretization did not converge after %d iterations"
+        iterations
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

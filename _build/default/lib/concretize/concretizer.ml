@@ -1,0 +1,698 @@
+module Ast = Ospack_spec.Ast
+module Parser = Ospack_spec.Parser
+module Printer = Ospack_spec.Printer
+module Concrete = Ospack_spec.Concrete
+module Constraint_ops = Ospack_spec.Constraint_ops
+module Package = Ospack_package.Package
+module Repository = Ospack_package.Repository
+module Provider_index = Ospack_package.Provider_index
+module Config = Ospack_config.Config
+module Policy = Ospack_config.Policy
+module Compilers = Ospack_config.Compilers
+module Version = Ospack_version.Version
+module Vlist = Ospack_version.Vlist
+module Smap = Ast.Smap
+module Sset = Set.Make (String)
+
+type ctx = {
+  repo : Repository.t;
+  index : Provider_index.t;
+  config : Config.t;
+  compilers : Compilers.t;
+}
+
+let make_ctx ?(config = Config.empty) ~compilers repo =
+  { repo; index = Provider_index.build repo; config; compilers }
+
+let fail e = raise (Cerror.Error e)
+
+let intersect_or_fail a b =
+  match Constraint_ops.intersect_node a b with
+  | Ok n -> n
+  | Error c -> fail (Cerror.Conflict c)
+
+(* ------------------------------------------------------------------ *)
+(* Per-iteration node state                                            *)
+
+type info = {
+  mutable cons : Ast.node;  (* merged constraints; name = package name *)
+  pkg : Package.t;
+  mutable deps : Sset.t;
+  mutable required_by : string option;  (* first dependent; None for root *)
+  mutable provided : (string * Vlist.t) list;  (* requirement-derived *)
+}
+
+(* Pinned parameters: the output of one iteration, input (for when-clause
+   evaluation and inheritance) to the next. *)
+type pins = {
+  pv : Version.t;
+  pc : string * Version.t;
+  pvar : bool Smap.t;
+  parch : string;
+}
+
+type snapshot = {
+  snodes : Sset.t;
+  sedges : Sset.t Smap.t;
+  spins : pins Smap.t;
+  sprovided : (string * Vlist.t) list Smap.t;
+}
+
+let empty_snapshot =
+  {
+    snodes = Sset.empty;
+    sedges = Smap.empty;
+    spins = Smap.empty;
+    sprovided = Smap.empty;
+  }
+
+let pins_equal a b =
+  Version.equal a.pv b.pv
+  && fst a.pc = fst b.pc
+  && Version.equal (snd a.pc) (snd b.pc)
+  && Smap.equal Bool.equal a.pvar b.pvar
+  && a.parch = b.parch
+
+let provided_equal a b =
+  List.length a = List.length b
+  && List.for_all2 (fun (n1, v1) (n2, v2) -> n1 = n2 && Vlist.equal v1 v2) a b
+
+let snapshot_equal a b =
+  Sset.equal a.snodes b.snodes
+  && Smap.equal Sset.equal a.sedges b.sedges
+  && Smap.equal pins_equal a.spins b.spins
+  && Smap.equal provided_equal a.sprovided b.sprovided
+
+(* The "candidate" view of a node for when-clause evaluation: pinned
+   parameters from the previous iteration where available, otherwise the
+   current constraints. *)
+let candidate_of ~prev_pins name cons =
+  match Smap.find_opt name prev_pins with
+  | None -> cons
+  | Some p ->
+      {
+        Ast.name;
+        versions = Vlist.of_version p.pv;
+        compiler =
+          Some
+            {
+              Ast.c_name = fst p.pc;
+              c_versions = Vlist.of_version (snd p.pc);
+            };
+        variants = Smap.fold Ast.Smap.add p.pvar Ast.Smap.empty;
+        arch = Some p.parch;
+      }
+
+(* ------------------------------------------------------------------ *)
+(* One greedy run                                                      *)
+
+type decision = {
+  d_key : string;  (* "provider:mpi", "version:mpich" *)
+  d_alternatives : int;
+  d_chosen : string;  (* human-readable chosen value *)
+}
+
+type run_state = {
+  ctx : ctx;
+  choices : (string * int) list;  (* decision overrides (backtracking) *)
+  decisions : (string, int) Hashtbl.t;  (* stable across iterations *)
+  mutable trace : decision list;  (* reversed *)
+}
+
+let decide rs key ~repr alternatives =
+  match alternatives with
+  | [] -> None
+  | _ -> (
+      let n = List.length alternatives in
+      match Hashtbl.find_opt rs.decisions key with
+      | Some i -> Some (List.nth alternatives (min i (n - 1)))
+      | None ->
+          let i =
+            match List.assoc_opt key rs.choices with
+            | Some i -> min i (n - 1)
+            | None -> 0
+          in
+          Hashtbl.add rs.decisions key i;
+          let chosen = List.nth alternatives i in
+          rs.trace <-
+            { d_key = key; d_alternatives = n; d_chosen = repr chosen }
+            :: rs.trace;
+          Some chosen)
+
+(* Evaluate a when-predicate for [name] against the previous iteration's
+   pins (node-local part) and the previous DAG (dependency part). *)
+let when_holds ~prev ~prev_pins name cons (pred : Ast.t) =
+  let candidate = candidate_of ~prev_pins name cons in
+  Constraint_ops.node_satisfies ~candidate ~constraint_:pred.Ast.root
+  && Ast.Smap.for_all
+       (fun dep_name c ->
+         Sset.exists
+           (fun n ->
+             let node_matches =
+               n = dep_name
+               ||
+               match Smap.find_opt n prev.sprovided with
+               | Some provided -> List.mem_assoc dep_name provided
+               | None -> false
+             in
+             node_matches
+             &&
+             let dep_candidate =
+               candidate_of ~prev_pins n (Ast.unconstrained n)
+             in
+             Constraint_ops.node_satisfies ~candidate:dep_candidate
+               ~constraint_:{ c with Ast.name = n })
+           prev.snodes)
+       pred.Ast.deps
+
+(* Rank versions best-first: site-preferred, then package-preferred, then
+   newest; append the extrapolated exact version when nothing is known. *)
+let ranked_versions cfg pkg (constraint_ : Vlist.t) =
+  let candidates = Package.known_versions pkg in
+  let satisfying = List.filter (fun v -> Vlist.mem v constraint_) candidates in
+  let site_pref =
+    match Policy.preferred_versions cfg ~package:pkg.Package.p_name with
+    | None -> []
+    | Some pref -> List.filter (fun v -> Vlist.mem v pref) satisfying
+  in
+  let pkg_pref =
+    List.filter (fun v -> Vlist.mem v constraint_) (Package.preferred_versions pkg)
+  in
+  let rest = satisfying in
+  let seen = Hashtbl.create 8 in
+  let dedup vs =
+    List.filter
+      (fun v ->
+        let k = Version.to_string v in
+        if Hashtbl.mem seen k then false
+        else begin
+          Hashtbl.add seen k ();
+          true
+        end)
+      vs
+  in
+  let ranked = dedup (site_pref @ pkg_pref @ rest) in
+  if ranked = [] then
+    match Vlist.concrete constraint_ with Some v -> [ v ] | None -> []
+  else ranked
+
+let run rs (abstract : Ast.t) =
+  let ctx = rs.ctx in
+  let user_cons = ref abstract.Ast.deps in
+  (* constraints contributed by deep depends_on specs, by package name *)
+  let max_iterations = 50 in
+  let rec iterate iter prev =
+    if iter > max_iterations then
+      fail (Cerror.Not_converged { iterations = max_iterations });
+    let nodes : (string, info) Hashtbl.t = Hashtbl.create 16 in
+    let order : string list ref = ref [] in
+    let extra = ref !user_cons in
+    let prev_pins = prev.spins in
+    (* Create or constrain a node for a (possibly virtual) requirement;
+       returns the real package name the requirement resolved to. *)
+    let rec ensure ~required_by (req : Ast.node) =
+      let req =
+        match Smap.find_opt req.Ast.name !extra with
+        | None -> req
+        | Some pending -> intersect_or_fail req pending
+      in
+      match Repository.find ctx.repo req.Ast.name with
+      | Some pkg -> (
+          match Hashtbl.find_opt nodes req.Ast.name with
+          | Some info ->
+              info.cons <- intersect_or_fail info.cons req;
+              info.pkg.Package.p_name
+          | None ->
+              let info =
+                {
+                  cons = req;
+                  pkg;
+                  deps = Sset.empty;
+                  required_by;
+                  provided = [];
+                }
+              in
+              Hashtbl.replace nodes req.Ast.name info;
+              order := req.Ast.name :: !order;
+              pkg.Package.p_name)
+      | None ->
+          if Provider_index.is_virtual ctx.index req.Ast.name then
+            resolve_virtual ~required_by req
+          else fail (Cerror.Unknown_package req.Ast.name)
+    and resolve_virtual ~required_by (req : Ast.node) =
+      let virtual_ = req.Ast.name in
+      let entries = Provider_index.providers_satisfying ctx.index req in
+      if entries = [] then
+        fail
+          (Cerror.No_provider
+             { virtual_; constraint_ = Printer.node_to_string req });
+      let provider_names =
+        List.map (fun e -> e.Provider_index.e_provider) entries
+        |> List.sort_uniq String.compare
+      in
+      (* rank: user-forced, then already-in-DAG, then site order, then name *)
+      let rank name =
+        let forced = if Smap.mem name !user_cons then 0 else 1 in
+        let present = if Hashtbl.mem nodes name then 0 else 1 in
+        let site = Policy.rank_provider ctx.config ~virtual_ name in
+        (forced, present, site, name)
+      in
+      let ranked =
+        List.sort (fun a b -> compare (rank a) (rank b)) provider_names
+      in
+      let provider =
+        match decide rs ("provider:" ^ virtual_) ~repr:(fun p -> p) ranked with
+        | Some p -> p
+        | None -> assert false (* entries nonempty *)
+      in
+      (* entries of the chosen provider, newest provided interface first *)
+      let provider_entries =
+        List.filter (fun e -> e.Provider_index.e_provider = provider) entries
+        |> List.stable_sort (fun a b ->
+               Vlist.compare_sup b.Provider_index.e_provided.Ast.versions
+                 a.Provider_index.e_provided.Ast.versions)
+      in
+      (* translate: non-version constraints transfer to the provider;
+         the provider-side when-condition constrains its version etc.
+         A provider may expose the interface under several conditions
+         (e.g. mpich provides mpi@:3 when @3: and mpi@:1 when @1:) — try
+         entries in order and keep the first that does not conflict with
+         the provider's other constraints. *)
+      let transferred =
+        { req with Ast.name = provider; versions = Vlist.any }
+      in
+      let attempt entry =
+        let from_when =
+          match entry.Provider_index.e_when with
+          | None -> Ast.unconstrained provider
+          | Some w -> { w.Ast.root with Ast.name = provider }
+        in
+        let provider_req = intersect_or_fail transferred from_when in
+        let name = ensure ~required_by provider_req in
+        let info = Hashtbl.find nodes name in
+        let provided_versions =
+          Vlist.intersect entry.Provider_index.e_provided.Ast.versions
+            req.Ast.versions
+        in
+        if Vlist.is_empty provided_versions then
+          fail
+            (Cerror.No_provider
+               { virtual_; constraint_ = Printer.node_to_string req });
+        (match List.assoc_opt virtual_ info.provided with
+        | None ->
+            info.provided <- (virtual_, provided_versions) :: info.provided
+        | Some existing ->
+            let merged = Vlist.intersect existing provided_versions in
+            if Vlist.is_empty merged then
+              fail
+                (Cerror.No_provider
+                   { virtual_; constraint_ = Printer.node_to_string req });
+            info.provided <-
+              (virtual_, merged) :: List.remove_assoc virtual_ info.provided);
+        name
+      in
+      let rec try_entries first_err = function
+        | [] -> (
+            match first_err with
+            | Some e -> raise e
+            | None ->
+                fail
+                  (Cerror.No_provider
+                     { virtual_; constraint_ = Printer.node_to_string req }))
+        | entry :: rest -> (
+            match attempt entry with
+            | name -> name
+            | exception (Cerror.Error _ as e) ->
+                try_entries
+                  (Some (Option.value first_err ~default:e))
+                  rest)
+      in
+      try_entries None provider_entries
+    in
+    (* seed the DAG from the root request *)
+    let root_name = ensure ~required_by:None abstract.Ast.root in
+    (* expand dependencies breadth-first *)
+    let queue = Queue.create () in
+    Queue.add root_name queue;
+    let expanded = Hashtbl.create 16 in
+    while not (Queue.is_empty queue) do
+      let name = Queue.pop queue in
+      if not (Hashtbl.mem expanded name) then begin
+        Hashtbl.replace expanded name ();
+        let info = Hashtbl.find nodes name in
+        List.iter
+          (fun (d : Package.dep) ->
+            let active =
+              match d.Package.d_when with
+              | None -> true
+              | Some pred -> when_holds ~prev ~prev_pins name info.cons pred
+            in
+            if active then begin
+              (* deep constraints of this depends_on apply DAG-wide *)
+              Ast.Smap.iter
+                (fun dep_name c ->
+                  extra :=
+                    Smap.update dep_name
+                      (function
+                        | None -> Some c
+                        | Some existing ->
+                            Some (intersect_or_fail existing c))
+                      !extra;
+                  match Hashtbl.find_opt nodes dep_name with
+                  | Some di -> di.cons <- intersect_or_fail di.cons c
+                  | None -> ())
+                d.Package.d_spec.Ast.deps;
+              let child =
+                ensure ~required_by:(Some name) d.Package.d_spec.Ast.root
+              in
+              if child <> name then begin
+                info.deps <- Sset.add child info.deps;
+                Queue.add child queue
+              end
+            end)
+          info.pkg.Package.p_dependencies
+      end
+    done;
+    (* pin parameters in creation order (parents first) *)
+    let new_pins = ref Smap.empty in
+    let creation_order = List.rev !order in
+    List.iter
+      (fun name ->
+        let info = Hashtbl.find nodes name in
+        let pkg = info.pkg in
+        let cons = info.cons in
+        (* architecture *)
+        let parent_pins =
+          match info.required_by with
+          | None -> None
+          | Some parent -> Smap.find_opt parent !new_pins
+        in
+        let arch =
+          match cons.Ast.arch with
+          | Some a -> a
+          | None -> (
+              match parent_pins with
+              | Some p -> p.parch
+              | None -> Policy.default_arch ctx.config)
+        in
+        (* compiler-feature requirements active under the current pins
+           (paper §4.5: packages depend on compiler features) *)
+        let features =
+          List.filter_map
+            (fun (f : Package.feature_req) ->
+              match f.Package.fr_when with
+              | None -> Some f.Package.fr_feature
+              | Some pred ->
+                  if
+                    Constraint_ops.node_satisfies
+                      ~candidate:(candidate_of ~prev_pins name cons)
+                      ~constraint_:pred.Ast.root
+                  then Some f.Package.fr_feature
+                  else None)
+            pkg.Package.p_compiler_features
+        in
+        let requested_of req =
+          let base =
+            match req with
+            | Some (r : Ast.compiler_req) ->
+                "%" ^ r.Ast.c_name
+                ^
+                (if Vlist.is_any r.Ast.c_versions then ""
+                 else "@" ^ Vlist.to_string r.Ast.c_versions)
+            | None -> "any"
+          in
+          if features = [] then base
+          else base ^ " with features " ^ String.concat "," features
+        in
+        (* compiler *)
+        let compiler =
+          match cons.Ast.compiler with
+          | Some req -> (
+              match
+                Policy.choose_toolchain ctx.config ctx.compilers ~arch
+                  ~features ~req:(Some req) ()
+              with
+              | Some tc -> (tc.Compilers.tc_name, tc.Compilers.tc_version)
+              | None ->
+                  fail
+                    (Cerror.No_compiler
+                       { package = name; requested = requested_of (Some req);
+                         arch }))
+          | None -> (
+              let inherited =
+                match parent_pins with
+                | Some p -> (
+                    let cname, cver = p.pc in
+                    match
+                      Compilers.find ctx.compilers ~name:cname ~version:cver
+                    with
+                    | Some tc
+                      when Compilers.supports tc ~arch
+                           && Compilers.has_features tc features ->
+                        Some (cname, cver)
+                    | _ -> None)
+                | None -> None
+              in
+              match inherited with
+              | Some c -> c
+              | None -> (
+                  match
+                    Policy.choose_toolchain ctx.config ctx.compilers ~arch
+                      ~features ~req:None ()
+                  with
+                  | Some tc -> (tc.Compilers.tc_name, tc.Compilers.tc_version)
+                  | None ->
+                      fail
+                        (Cerror.No_compiler
+                           { package = name; requested = requested_of None;
+                             arch })))
+        in
+        (* version *)
+        let version =
+          match ranked_versions ctx.config pkg cons.Ast.versions with
+          | [] ->
+              fail
+                (Cerror.No_version
+                   {
+                     package = name;
+                     constraint_ = Vlist.to_string cons.Ast.versions;
+                   })
+          | [ v ] -> v
+          | ranked -> (
+              match
+                decide rs ("version:" ^ name) ~repr:Version.to_string ranked
+              with
+              | Some v -> v
+              | None -> assert false)
+        in
+        (* variants *)
+        Ast.Smap.iter
+          (fun v _ ->
+            if Package.find_variant pkg v = None then
+              fail (Cerror.Unknown_variant { package = name; variant = v }))
+          cons.Ast.variants;
+        let variants =
+          List.fold_left
+            (fun m (vname, default) ->
+              let value =
+                match Ast.Smap.find_opt vname cons.Ast.variants with
+                | Some v -> v
+                | None -> (
+                    match
+                      List.assoc_opt vname
+                        (Policy.variant_preference ctx.config ~package:name)
+                    with
+                    | Some v -> v
+                    | None -> default)
+              in
+              Smap.add vname value m)
+            Smap.empty (Package.variant_defaults pkg)
+        in
+        new_pins :=
+          Smap.add name
+            { pv = version; pc = compiler; pvar = variants; parch = arch }
+            !new_pins)
+      creation_order;
+    (* directive-derived provided sets, evaluated against the new pins *)
+    let provided_of name (info : info) =
+      let candidate = candidate_of ~prev_pins:!new_pins name info.cons in
+      List.filter_map
+        (fun (p : Package.provide) ->
+          let active =
+            match p.Package.pv_when with
+            | None -> true
+            | Some pred ->
+                Constraint_ops.node_satisfies ~candidate
+                  ~constraint_:pred.Ast.root
+          in
+          if active then
+            Some (p.Package.pv_spec.Ast.name, p.Package.pv_spec.Ast.versions)
+          else None)
+        info.pkg.Package.p_provides
+      |> List.sort compare
+    in
+    let snapshot =
+      {
+        snodes =
+          Hashtbl.fold (fun k _ acc -> Sset.add k acc) nodes Sset.empty;
+        sedges =
+          Hashtbl.fold (fun k info acc -> Smap.add k info.deps acc) nodes
+            Smap.empty;
+        spins = !new_pins;
+        sprovided =
+          Hashtbl.fold
+            (fun k info acc -> Smap.add k (provided_of k info) acc)
+            nodes Smap.empty;
+      }
+    in
+    if snapshot_equal snapshot prev then finalize root_name nodes snapshot
+    else iterate (iter + 1) snapshot
+  and finalize root_name nodes snapshot =
+    (* conflicts directives (paper §3.1: constraints tested on the spec) *)
+    Hashtbl.iter
+      (fun name (info : info) ->
+        let candidate = candidate_of ~prev_pins:snapshot.spins name info.cons in
+        List.iter
+          (fun (c : Package.conflict_decl) ->
+            let applicable =
+              match c.Package.cf_when with
+              | None -> true
+              | Some pred ->
+                  Constraint_ops.node_satisfies ~candidate
+                    ~constraint_:pred.Ast.root
+            in
+            if
+              applicable
+              && Constraint_ops.node_satisfies ~candidate
+                   ~constraint_:{ c.Package.cf_spec with Ast.name }
+            then
+              fail
+                (Cerror.Conflict_declared
+                   {
+                     package = name;
+                     spec = Printer.node_to_string c.Package.cf_spec;
+                     msg = c.Package.cf_msg;
+                   }))
+          info.pkg.Package.p_conflicts)
+      nodes;
+    (* every user ^constraint must have materialized *)
+    Ast.Smap.iter
+      (fun cname _ ->
+        let materialized =
+          Sset.mem cname snapshot.snodes
+          || Smap.exists
+               (fun _ provided -> List.mem_assoc cname provided)
+               snapshot.sprovided
+        in
+        if not materialized then
+          fail (Cerror.Unused_constraint { package = cname; root = root_name }))
+      abstract.Ast.deps;
+    let concrete_nodes =
+      Sset.fold
+        (fun name acc ->
+          let pins = Smap.find name snapshot.spins in
+          let info = Hashtbl.find nodes name in
+          {
+            Concrete.name;
+            version = pins.pv;
+            compiler = pins.pc;
+            variants =
+              Smap.fold Concrete.Smap.add pins.pvar Concrete.Smap.empty;
+            arch = pins.parch;
+            deps = Sset.elements info.deps;
+            provided = Smap.find name snapshot.sprovided;
+          }
+          :: acc)
+        snapshot.snodes []
+    in
+    match Concrete.make ~root:root_name concrete_nodes with
+    | Ok c -> c
+    | Error (Concrete.Cyclic cycle) -> fail (Cerror.Cycle cycle)
+    | Error e ->
+        invalid_arg
+          (Format.asprintf "concretizer produced an invalid DAG: %a"
+             Concrete.pp_validation_error e)
+  in
+  iterate 1 empty_snapshot
+
+(* ------------------------------------------------------------------ *)
+(* Public entry points                                                 *)
+
+let run_once ctx choices abstract =
+  let rs = { ctx; choices; decisions = Hashtbl.create 8; trace = [] } in
+  match run rs abstract with
+  | concrete -> (Ok concrete, List.rev rs.trace)
+  | exception Cerror.Error e -> (Error e, List.rev rs.trace)
+
+let concretize ctx abstract = fst (run_once ctx [] abstract)
+
+let explain_decision d =
+  match String.index_opt d.d_key ':' with
+  | Some i ->
+      let kind = String.sub d.d_key 0 i in
+      let subject =
+        String.sub d.d_key (i + 1) (String.length d.d_key - i - 1)
+      in
+      let what =
+        match kind with
+        | "provider" -> Printf.sprintf "virtual %s -> %s" subject d.d_chosen
+        | "version" -> Printf.sprintf "version of %s -> %s" subject d.d_chosen
+        | other -> Printf.sprintf "%s of %s -> %s" other subject d.d_chosen
+      in
+      Printf.sprintf "%s (1 of %d candidates)" what d.d_alternatives
+  | None -> Printf.sprintf "%s -> %s" d.d_key d.d_chosen
+
+let concretize_explain ctx abstract =
+  let result, trace = run_once ctx [] abstract in
+  Result.map (fun c -> (c, List.map explain_decision trace)) result
+
+let concretize_string ctx spec =
+  match Parser.parse spec with
+  | Error e -> Error e
+  | Ok abstract -> (
+      match concretize ctx abstract with
+      | Ok c -> Ok c
+      | Error e -> Error (Cerror.to_string e))
+
+let runs_used = ref 1
+let last_run_count () = !runs_used
+
+let concretize_backtracking ?(max_runs = 2000) ctx abstract =
+  let first_result, first_trace = run_once ctx [] abstract in
+  runs_used := 1;
+  match first_result with
+  | Ok c -> Ok c
+  | Error first_error ->
+      (* chronological backtracking: advance the most recent decision that
+         still has untried alternatives, resetting all later ones *)
+      let next_choices trace choices =
+        let rec scan rev_trace =
+          match rev_trace with
+          | [] -> None
+          | d :: earlier ->
+              let key = d.d_key in
+              let cur =
+                Option.value (List.assoc_opt key choices) ~default:0
+              in
+              if cur + 1 < d.d_alternatives then
+                let earlier_keys = List.map (fun d -> d.d_key) earlier in
+                let kept =
+                  List.filter (fun (k, _) -> List.mem k earlier_keys) choices
+                in
+                Some ((key, cur + 1) :: kept)
+              else scan earlier
+        in
+        scan (List.rev trace)
+      in
+      let rec search trace choices runs =
+        if runs >= max_runs then Error first_error
+        else
+          match next_choices trace choices with
+          | None -> Error first_error
+          | Some choices' -> (
+              runs_used := runs + 1;
+              match run_once ctx choices' abstract with
+              | Ok c, _ -> Ok c
+              | Error _, trace' -> search trace' choices' (runs + 1))
+      in
+      search first_trace [] 1

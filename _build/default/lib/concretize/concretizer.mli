@@ -1,0 +1,66 @@
+(** Concretization: abstract spec → concrete spec (paper §3.4, Fig. 6).
+
+    The algorithm follows the paper's pipeline as a fixed point:
+
+    + intersect the user's constraints with constraints from package
+      directives, package by package;
+    + replace virtual nodes with providers chosen via the provider index
+      and site/user policies;
+    + consult policies to pin any remaining parameters (version, compiler,
+      variants, architecture — children inherit architecture and compiler
+      from the package that pulled them in, the root from configuration);
+    + re-evaluate conditional ([when=]) dependencies against the new pins,
+      and repeat until nothing changes.
+
+    Like Spack's implementation, {!concretize} is greedy: a decision once
+    taken is never revisited, and a downstream inconsistency is reported
+    as a {!Cerror.t} telling the user what to force (§3.4, §4.5).
+    {!concretize_backtracking} is the "better constraint solving" the paper
+    leaves as future work: chronological backtracking over the greedy
+    run's recorded decision points (virtual-provider and version choices),
+    which resolves e.g. the paper's hwloc example (§4.5). *)
+
+type ctx = {
+  repo : Ospack_package.Repository.t;
+  index : Ospack_package.Provider_index.t;
+  config : Ospack_config.Config.t;
+  compilers : Ospack_config.Compilers.t;
+}
+
+val make_ctx :
+  ?config:Ospack_config.Config.t ->
+  compilers:Ospack_config.Compilers.t ->
+  Ospack_package.Repository.t ->
+  ctx
+(** Build a context (and the provider index) over a repository. *)
+
+val concretize :
+  ctx -> Ospack_spec.Ast.t -> (Ospack_spec.Concrete.t, Cerror.t) result
+(** Greedy concretization. The root may name a virtual interface
+    ([spack install mpi] installs the preferred provider). *)
+
+val concretize_explain :
+  ctx ->
+  Ospack_spec.Ast.t ->
+  (Ospack_spec.Concrete.t * string list, Cerror.t) result
+(** Like {!concretize}, additionally returning one human-readable line per
+    policy decision the greedy run took (virtual-provider and version
+    choices with their candidate counts) — [spack spec --explain]. *)
+
+val concretize_string :
+  ctx -> string -> (Ospack_spec.Concrete.t, string) result
+(** Parse and concretize; parse and concretization errors are rendered. *)
+
+val concretize_backtracking :
+  ?max_runs:int ->
+  ctx ->
+  Ospack_spec.Ast.t ->
+  (Ospack_spec.Concrete.t, Cerror.t) result
+(** Greedy search with chronological backtracking over provider and
+    version decisions. [max_runs] bounds the number of greedy re-runs
+    (default 2000). Returns the first solution found, or the error of the
+    first (fully greedy) run if the search space is exhausted. *)
+
+val last_run_count : unit -> int
+(** Number of greedy runs the most recent {!concretize_backtracking} used
+    (1 when greedy succeeded outright) — exposed for the ablation bench. *)

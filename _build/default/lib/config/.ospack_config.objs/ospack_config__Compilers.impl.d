@@ -1,0 +1,1 @@
+lib/config/compilers.ml: List Option Ospack_spec Ospack_version Printf String

@@ -1,0 +1,1 @@
+lib/config/compilers.mli: Ospack_spec Ospack_version

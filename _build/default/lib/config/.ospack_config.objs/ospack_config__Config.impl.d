@@ -1,0 +1,1 @@
+lib/config/config.ml: List Map Printf String

@@ -1,0 +1,1 @@
+lib/config/policy.ml: Compilers Config List Option Ospack_spec Ospack_version Printf String

@@ -1,0 +1,1 @@
+lib/config/policy.mli: Compilers Config Ospack_spec Ospack_version

@@ -1,0 +1,78 @@
+module Version = Ospack_version.Version
+module Vlist = Ospack_version.Vlist
+module Ast = Ospack_spec.Ast
+
+type toolchain = {
+  tc_name : string;
+  tc_version : Version.t;
+  tc_cc : string;
+  tc_cxx : string;
+  tc_f77 : string;
+  tc_fc : string;
+  tc_archs : string list;
+  tc_features : string list;
+}
+
+let vendor_drivers = function
+  | "gcc" -> ("gcc", "g++", "gfortran", "gfortran")
+  | "intel" -> ("icc", "icpc", "ifort", "ifort")
+  | "clang" -> ("clang", "clang++", "gfortran", "gfortran")
+  | "xl" -> ("xlc", "xlC", "xlf", "xlf90")
+  | "pgi" -> ("pgcc", "pgc++", "pgf77", "pgf90")
+  | "cray" -> ("cc", "CC", "ftn", "ftn")
+  | name -> (name ^ "cc", name ^ "c++", name ^ "f77", name ^ "f90")
+
+let toolchain ?cc ?cxx ?f77 ?fc ?(archs = []) ?(features = []) name version =
+  let dcc, dcxx, df77, dfc = vendor_drivers name in
+  {
+    tc_name = name;
+    tc_version = Version.of_string version;
+    tc_cc = Option.value cc ~default:dcc;
+    tc_cxx = Option.value cxx ~default:dcxx;
+    tc_f77 = Option.value f77 ~default:df77;
+    tc_fc = Option.value fc ~default:dfc;
+    tc_archs = archs;
+    tc_features = features;
+  }
+
+let has_features tc requested =
+  List.for_all (fun f -> List.mem f tc.tc_features) requested
+
+type t = toolchain list (* sorted: by name, then newest first *)
+
+let compare_tc a b =
+  match String.compare a.tc_name b.tc_name with
+  | 0 -> Version.compare b.tc_version a.tc_version
+  | c -> c
+
+let create toolchains =
+  let sorted = List.sort compare_tc toolchains in
+  let rec check = function
+    | a :: b :: _
+      when a.tc_name = b.tc_name && Version.equal a.tc_version b.tc_version ->
+        invalid_arg
+          (Printf.sprintf "Compilers.create: duplicate toolchain %s at %s"
+             a.tc_name
+             (Version.to_string a.tc_version))
+    | _ :: rest -> check rest
+    | [] -> ()
+  in
+  check sorted;
+  sorted
+
+let all t = t
+
+let supports tc ~arch = tc.tc_archs = [] || List.mem arch tc.tc_archs
+
+let available t ~arch = List.filter (supports ~arch) t
+
+let satisfying t ~arch (req : Ast.compiler_req) =
+  available t ~arch
+  |> List.filter (fun tc ->
+         tc.tc_name = req.Ast.c_name
+         && Vlist.mem tc.tc_version req.Ast.c_versions)
+
+let find t ~name ~version =
+  List.find_opt
+    (fun tc -> tc.tc_name = name && Version.equal tc.tc_version version)
+    t

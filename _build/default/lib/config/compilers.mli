@@ -1,0 +1,63 @@
+(** The compiler (toolchain) registry.
+
+    A Spack "compiler" names a full toolchain — C, C++, Fortran 77/90
+    drivers of one vendor at one version (paper §3.2.3, "Compilers").
+    Real Spack auto-detects toolchains in [PATH] or reads them from a
+    configuration file; here the registry is constructed from site
+    configuration. Toolchains may be restricted to architectures — the
+    registry for a Blue Gene/Q front-end offers xl and clang for [=bgq]
+    but not icc (paper Table 3). *)
+
+type toolchain = {
+  tc_name : string;  (** e.g. ["gcc"], ["intel"], ["xl"] *)
+  tc_version : Ospack_version.Version.t;
+  tc_cc : string;  (** C driver command, e.g. ["gcc"] or ["icc"] *)
+  tc_cxx : string;
+  tc_f77 : string;
+  tc_fc : string;
+  tc_archs : string list;  (** supported target architectures; [[]] = any *)
+  tc_features : string list;
+      (** language/runtime features the toolchain supports, e.g. ["cxx11"],
+          ["openmp4"], ["cuda"] — the paper's §4.5 future work: "packages
+          depend on particular compiler features … like C++11 language
+          features, OpenMP versions, and GPU compute capabilities" *)
+}
+
+val toolchain :
+  ?cc:string ->
+  ?cxx:string ->
+  ?f77:string ->
+  ?fc:string ->
+  ?archs:string list ->
+  ?features:string list ->
+  string ->
+  string ->
+  toolchain
+(** [toolchain name version] with driver names defaulting to the vendor's
+    conventional spellings for known vendors ([gcc]/[g++]/[gfortran],
+    [icc]/[icpc]/[ifort], [xlc]/[xlC]/[xlf], [clang]/[clang++], [pgcc]…)
+    and to [<name>cc]-style names otherwise. *)
+
+val has_features : toolchain -> string list -> bool
+(** Does the toolchain support every requested feature? *)
+
+type t
+
+val create : toolchain list -> t
+(** Raises [Invalid_argument] on duplicate (name, version) pairs. *)
+
+val all : t -> toolchain list
+(** Sorted by name, then newest version first. *)
+
+val supports : toolchain -> arch:string -> bool
+
+val available : t -> arch:string -> toolchain list
+(** Toolchains usable on an architecture, sorted newest-first per name. *)
+
+val satisfying :
+  t -> arch:string -> Ospack_spec.Ast.compiler_req -> toolchain list
+(** Toolchains on [arch] matching a [%name\[@versions\]] requirement,
+    newest version first. *)
+
+val find :
+  t -> name:string -> version:Ospack_version.Version.t -> toolchain option

@@ -1,0 +1,60 @@
+module Smap = Map.Make (String)
+
+type t = string Smap.t
+
+let empty = Smap.empty
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  let rec go section acc lineno = function
+    | [] -> Ok acc
+    | line :: rest -> (
+        let line =
+          match String.index_opt line '#' with
+          | Some i -> String.sub line 0 i
+          | None -> line
+        in
+        let line = String.trim line in
+        if line = "" then go section acc (lineno + 1) rest
+        else if String.length line > 1 && line.[0] = '[' then
+          if line.[String.length line - 1] = ']' then
+            let name = String.trim (String.sub line 1 (String.length line - 2)) in
+            go (if name = "" then "" else name ^ ".") acc (lineno + 1) rest
+          else Error (Printf.sprintf "line %d: unterminated section header" lineno)
+        else
+          match String.index_opt line '=' with
+          | None ->
+              Error (Printf.sprintf "line %d: expected 'key = value'" lineno)
+          | Some i ->
+              let key = String.trim (String.sub line 0 i) in
+              let value =
+                String.trim (String.sub line (i + 1) (String.length line - i - 1))
+              in
+              if key = "" then
+                Error (Printf.sprintf "line %d: empty key" lineno)
+              else
+                go section (Smap.add (section ^ key) value acc) (lineno + 1) rest)
+  in
+  go "" Smap.empty 1 lines
+
+let parse_exn text =
+  match parse text with Ok t -> t | Error e -> invalid_arg ("Config.parse: " ^ e)
+
+let of_assoc kvs =
+  List.fold_left (fun m (k, v) -> Smap.add k v m) Smap.empty kvs
+
+let layer layers =
+  List.fold_left
+    (fun acc l -> Smap.union (fun _ high _low -> Some high) acc l)
+    Smap.empty layers
+
+let get t key = Smap.find_opt key t
+
+let get_list t key =
+  match get t key with
+  | None -> []
+  | Some v ->
+      String.split_on_char ',' v |> List.map String.trim
+      |> List.filter (fun s -> s <> "")
+
+let keys t = Smap.bindings t |> List.map fst

@@ -1,0 +1,42 @@
+(** Layered site and user configuration (paper §3.4.4, §4.3.1).
+
+    Configuration is a flat key/value store with dotted keys, parsed from a
+    simple INI-ish text format:
+
+    {v
+    # comment
+    arch = linux-x86_64
+    compiler_order = icc, gcc@4.4.7
+
+    [providers]
+    mpi = mvapich2, openmpi
+
+    [packages.python]
+    version = 2.7.9
+    v}
+
+    A [\[section\]] header prefixes subsequent keys with ["section."].
+    Layers combine with earlier layers winning ("site and user policies",
+    §3.4: defaults < site < user < command line). *)
+
+type t
+
+val empty : t
+
+val parse : string -> (t, string) result
+(** Parse the text format above. Errors name the offending line. *)
+
+val parse_exn : string -> t
+
+val of_assoc : (string * string) list -> t
+
+val layer : t list -> t
+(** Earlier layers take precedence for every key. *)
+
+val get : t -> string -> string option
+
+val get_list : t -> string -> string list
+(** Comma-separated value, trimmed; [[]] when the key is absent. *)
+
+val keys : t -> string list
+(** All defined keys, sorted. *)

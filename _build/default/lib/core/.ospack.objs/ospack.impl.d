@@ -1,0 +1,1 @@
+lib/core/ospack.ml: Commands Context Environment

@@ -1,0 +1,1 @@
+lib/core/ospack.mli: Commands Context Environment

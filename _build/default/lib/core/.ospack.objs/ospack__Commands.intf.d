@@ -1,0 +1,1 @@
+lib/core/commands.mli: Context Ospack_package Ospack_spec Ospack_store Ospack_views

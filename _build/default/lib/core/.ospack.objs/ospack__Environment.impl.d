@@ -1,0 +1,1 @@
+lib/core/environment.ml: Commands Context List Option Ospack_json Ospack_spec Ospack_store Ospack_vfs Ospack_views Printf Result String

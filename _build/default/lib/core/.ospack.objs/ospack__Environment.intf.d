@@ -1,0 +1,1 @@
+lib/core/environment.mli: Commands Context Ospack_spec Ospack_store

@@ -1,0 +1,51 @@
+module Vfs = Ospack_vfs.Vfs
+module Config = Ospack_config.Config
+module Repository = Ospack_package.Repository
+module Compilers = Ospack_config.Compilers
+module Concretizer = Ospack_concretize.Concretizer
+module Installer = Ospack_store.Installer
+module Fsmodel = Ospack_buildsim.Fsmodel
+module Layout = Ospack_layout.Layout
+module Universe = Ospack_repo.Universe
+module Buildcache = Ospack_store.Buildcache
+
+type t = {
+  vfs : Vfs.t;
+  config : Config.t;
+  repo : Repository.t;
+  compilers : Compilers.t;
+  cctx : Concretizer.ctx;
+  installer : Installer.t;
+  cache : Buildcache.t option;
+  module_root : string;
+}
+
+let create ?config ?repo ?compilers ?fs ?scheme
+    ?(install_root = "/ospack/opt") ?cache_root () =
+  let config = Option.value config ~default:Universe.default_config in
+  let repo =
+    match repo with Some r -> r | None -> Universe.repository ()
+  in
+  let compilers = Option.value compilers ~default:Universe.compilers in
+  let vfs = Vfs.create () in
+  let cctx = Concretizer.make_ctx ~config ~compilers repo in
+  let cache =
+    Option.map (fun root -> Buildcache.create vfs ~root) cache_root
+  in
+  let installer =
+    Installer.create ?fs ?scheme ~install_root ~config ?cache ~vfs ~repo
+      ~compilers ()
+  in
+  { vfs; config; repo; compilers; cctx; installer; cache;
+    module_root = "/ospack/modules" }
+
+let with_site_packages t site_pkgs =
+  let site = Repository.create ~name:"site" site_pkgs in
+  let repo = Repository.layered [ site; t.repo ] in
+  let cctx = Concretizer.make_ctx ~config:t.config ~compilers:t.compilers repo in
+  let installer =
+    Installer.create ~install_root:(Installer.install_root t.installer)
+      ~config:t.config ?cache:t.cache ~vfs:t.vfs ~repo ~compilers:t.compilers
+      ()
+  in
+  { t with repo; cctx; installer }

@@ -1,0 +1,37 @@
+(** A complete ospack instance: repository, configuration, compiler
+    registry, concretizer, virtual filesystem, and install store — what
+    the [spack] command carries implicitly in its process state. *)
+
+type t = {
+  vfs : Ospack_vfs.Vfs.t;
+  config : Ospack_config.Config.t;
+  repo : Ospack_package.Repository.t;
+  compilers : Ospack_config.Compilers.t;
+  cctx : Ospack_concretize.Concretizer.ctx;
+  installer : Ospack_store.Installer.t;
+  cache : Ospack_store.Buildcache.t option;
+      (** binary build cache, when enabled via [cache_root] *)
+  module_root : string;  (** where generated module files are written *)
+}
+
+val create :
+  ?config:Ospack_config.Config.t ->
+  ?repo:Ospack_package.Repository.t ->
+  ?compilers:Ospack_config.Compilers.t ->
+  ?fs:Ospack_buildsim.Fsmodel.t ->
+  ?scheme:Ospack_layout.Layout.scheme ->
+  ?install_root:string ->
+  ?cache_root:string ->
+  unit ->
+  t
+(** Defaults: the built-in 245-package universe, the LLNL-flavored site
+    configuration, the full toolchain registry, a tmpfs stage, and the
+    Spack-default layout under ["/ospack/opt"], all on a fresh virtual
+    filesystem. [cache_root] enables a binary build cache at that path:
+    installs pull matching hashes from it, and {!Commands.buildcache_push}
+    archives built trees into it. *)
+
+val with_site_packages : t -> Ospack_package.Package.t list -> t
+(** A context whose repository layers the given site packages in front of
+    the existing ones (paper §4.3.2); shares the same filesystem and
+    install store configuration but uses a fresh database. *)

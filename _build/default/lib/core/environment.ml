@@ -1,0 +1,178 @@
+module Vfs = Ospack_vfs.Vfs
+module Json = Ospack_json.Json
+module Parser = Ospack_spec.Parser
+module Concrete = Ospack_spec.Concrete
+module Installer = Ospack_store.Installer
+module Database = Ospack_store.Database
+
+type t = {
+  env_name : string;
+  env_roots : string list;
+  env_view : string option;
+}
+
+let envs_root = "/ospack/envs"
+
+let manifest_path name = Printf.sprintf "%s/%s/env.json" envs_root name
+let lock_path name = Printf.sprintf "%s/%s/lock.json" envs_root name
+
+let valid_name name =
+  name <> ""
+  && String.for_all
+       (fun c ->
+         (c >= 'a' && c <= 'z')
+         || (c >= 'A' && c <= 'Z')
+         || (c >= '0' && c <= '9')
+         || c = '_' || c = '-')
+       name
+
+let ( let* ) = Result.bind
+
+let persist (ctx : Context.t) t =
+  let manifest =
+    Json.Obj
+      [
+        ("name", Json.String t.env_name);
+        ("roots", Json.List (List.map (fun r -> Json.String r) t.env_roots));
+        ( "view",
+          match t.env_view with
+          | Some v -> Json.String v
+          | None -> Json.Null );
+      ]
+  in
+  match
+    Vfs.write_file ctx.Context.vfs
+      (manifest_path t.env_name)
+      (Json.to_string ~indent:2 manifest ^ "\n")
+  with
+  | Ok () -> Ok t
+  | Error e -> Error (Vfs.error_to_string e)
+
+let create (ctx : Context.t) ~name ?view () =
+  if not (valid_name name) then
+    Error (Printf.sprintf "invalid environment name %S" name)
+  else if Vfs.exists ctx.Context.vfs (manifest_path name) then
+    Error (Printf.sprintf "environment %s already exists" name)
+  else persist ctx { env_name = name; env_roots = []; env_view = view }
+
+let load (ctx : Context.t) ~name =
+  match Vfs.read_file ctx.Context.vfs (manifest_path name) with
+  | Error _ -> Error (Printf.sprintf "no environment named %s" name)
+  | Ok content -> (
+      let* j =
+        Result.map_error (fun e -> "env manifest: " ^ e) (Json.of_string content)
+      in
+      let* roots =
+        match Option.bind (Json.member "roots" j) Json.to_list with
+        | Some items ->
+            Ok (List.filter_map Json.get_string items)
+        | None -> Error "env manifest: missing roots"
+      in
+      let view = Option.bind (Json.member "view" j) Json.get_string in
+      Ok { env_name = name; env_roots = roots; env_view = view })
+
+let list_envs (ctx : Context.t) =
+  match Vfs.ls ctx.Context.vfs envs_root with
+  | Error _ -> []
+  | Ok entries ->
+      List.filter
+        (fun name -> Vfs.is_file ctx.Context.vfs (manifest_path name))
+        entries
+
+let add (ctx : Context.t) t spec =
+  let* _ast = Parser.parse spec in
+  if List.mem spec t.env_roots then
+    Error (Printf.sprintf "%s is already a root of %s" spec t.env_name)
+  else persist ctx { t with env_roots = t.env_roots @ [ spec ] }
+
+let remove_root (ctx : Context.t) t spec =
+  if not (List.mem spec t.env_roots) then
+    Error (Printf.sprintf "%s is not a root of %s" spec t.env_name)
+  else
+    persist ctx
+      { t with env_roots = List.filter (fun r -> r <> spec) t.env_roots }
+
+let write_lock (ctx : Context.t) t concretes =
+  let lock =
+    Json.Obj
+      [
+        ("format", Json.Int 1);
+        ("specs", Json.List (List.map Concrete.to_json concretes));
+      ]
+  in
+  match
+    Vfs.write_file ctx.Context.vfs
+      (lock_path t.env_name)
+      (Json.to_string ~indent:2 lock ^ "\n")
+  with
+  | Ok () -> Ok ()
+  | Error e -> Error (Vfs.error_to_string e)
+
+let locked_specs (ctx : Context.t) t =
+  match Vfs.read_file ctx.Context.vfs (lock_path t.env_name) with
+  | Error _ -> Error (Printf.sprintf "environment %s has no lockfile" t.env_name)
+  | Ok content ->
+      let* j =
+        Result.map_error (fun e -> "lockfile: " ^ e) (Json.of_string content)
+      in
+      let* items =
+        match Option.bind (Json.member "specs" j) Json.to_list with
+        | Some items -> Ok items
+        | None -> Error "lockfile: missing specs"
+      in
+      List.fold_left
+        (fun acc item ->
+          let* specs = acc in
+          let* c = Concrete.of_json item in
+          Ok (c :: specs))
+        (Ok []) items
+      |> Result.map List.rev
+
+let sync_view (ctx : Context.t) t =
+  match t.env_view with
+  | None -> Ok ()
+  | Some view_root ->
+      Result.map (fun (_ : Ospack_views.View.merge_report) -> ())
+        (Commands.view_merge ctx ~view_root)
+
+let install (ctx : Context.t) t =
+  let* reports =
+    List.fold_left
+      (fun acc root ->
+        let* reports = acc in
+        let* report = Commands.install ctx root in
+        Ok (report :: reports))
+      (Ok []) t.env_roots
+    |> Result.map List.rev
+  in
+  let* () =
+    write_lock ctx t (List.map (fun r -> r.Commands.ir_spec) reports)
+  in
+  let* () = sync_view ctx t in
+  Ok reports
+
+let install_locked (ctx : Context.t) t =
+  let* specs = locked_specs ctx t in
+  let* outcomes =
+    List.fold_left
+      (fun acc spec ->
+        let* outcomes = acc in
+        let* o = Installer.install ctx.Context.installer spec in
+        Ok (o :: outcomes))
+      (Ok []) specs
+    |> Result.map List.rev
+  in
+  let* () = sync_view ctx t in
+  Ok outcomes
+
+let status (ctx : Context.t) t =
+  let db = Installer.database ctx.Context.installer in
+  List.map
+    (fun root ->
+      let installed =
+        match Parser.parse root with
+        | Error _ -> false
+        | Ok ast -> Database.find_satisfying db ast <> []
+      in
+      (root, installed))
+    t.env_roots

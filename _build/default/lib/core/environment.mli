@@ -1,0 +1,53 @@
+(** Named environments: a manifest of root specs managed together, with a
+    lockfile of exact concretizations and an optional merged view.
+
+    This is the natural composition of the paper's pieces (and the shape
+    Spack's own later [spack env] took): the manifest holds abstract
+    specs; {!install} concretizes and installs them against one store,
+    writes a lockfile of complete concrete DAGs (the environment-level
+    analogue of §3.4.3's spec provenance), and synchronizes a merged
+    file-level view. {!install_locked} replays the lockfile exactly,
+    immune to package and preference drift. *)
+
+type t = private {
+  env_name : string;
+  env_roots : string list;  (** abstract root specs, in addition order *)
+  env_view : string option;  (** merged-view root, when configured *)
+}
+
+val envs_root : string
+(** Where environments live on the context filesystem (["/ospack/envs"]). *)
+
+val create :
+  Context.t -> name:string -> ?view:string -> unit -> (t, string) result
+(** Create and persist an empty environment. Fails if the name exists.
+    Names are restricted to [A-Za-z0-9_-]. *)
+
+val load : Context.t -> name:string -> (t, string) result
+
+val list_envs : Context.t -> string list
+(** Names of existing environments, sorted. *)
+
+val add : Context.t -> t -> string -> (t, string) result
+(** Append a root spec (parse-validated; duplicates rejected) and persist. *)
+
+val remove_root : Context.t -> t -> string -> (t, string) result
+(** Remove a root spec (exact string match) and persist. *)
+
+val install :
+  Context.t -> t -> (Commands.install_report list, string) result
+(** Concretize and install every root against the context store (shared
+    sub-DAGs across roots are built once), write the lockfile, and — when
+    the environment has a view — synchronize the merged view. *)
+
+val install_locked :
+  Context.t -> t -> (Ospack_store.Installer.outcome list list, string) result
+(** Install exactly the concrete DAGs recorded in the lockfile, without
+    re-concretizing. Fails when no lockfile exists. *)
+
+val locked_specs :
+  Context.t -> t -> (Ospack_spec.Concrete.t list, string) result
+(** The lockfile contents. *)
+
+val status : Context.t -> t -> (string * bool) list
+(** Each root spec paired with whether a satisfying install exists. *)

@@ -1,0 +1,4 @@
+module Context = Context
+module Commands = Commands
+module Environment = Environment
+include Commands

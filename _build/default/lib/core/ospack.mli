@@ -1,0 +1,14 @@
+(** ospack: an OCaml reproduction of the Spack package manager
+    (Gamblin et al., SC '15).
+
+    This is the library's entry module: {!Context} holds an instance
+    (repository, configuration, compilers, concretizer, virtual filesystem
+    and install store); the command layer — re-exported here — provides
+    the [spack]-style operations ([install], [find], [spec], [providers],
+    [activate], …). The underlying subsystems are available directly as
+    the [Ospack_*] libraries. *)
+
+module Context : module type of Context
+module Commands : module type of Commands
+module Environment : module type of Environment
+include module type of Commands

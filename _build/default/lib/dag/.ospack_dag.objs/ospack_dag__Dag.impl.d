@@ -1,0 +1,1 @@
+lib/dag/dag.ml: Buffer Hashtbl List Map Printf Set String

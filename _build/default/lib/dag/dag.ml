@@ -1,0 +1,121 @@
+module Smap = Map.Make (String)
+module Sset = Set.Make (String)
+
+type t = { succ : Sset.t Smap.t; pred : Sset.t Smap.t }
+
+let empty = { succ = Smap.empty; pred = Smap.empty }
+
+let ensure m name = if Smap.mem name m then m else Smap.add name Sset.empty m
+
+let add_node g name =
+  { succ = ensure g.succ name; pred = ensure g.pred name }
+
+let add_edge g ~from ~to_ =
+  let g = add_node (add_node g from) to_ in
+  {
+    succ = Smap.add from (Sset.add to_ (Smap.find from g.succ)) g.succ;
+    pred = Smap.add to_ (Sset.add from (Smap.find to_ g.pred)) g.pred;
+  }
+
+let nodes g = Smap.bindings g.succ |> List.map fst
+let node_count g = Smap.cardinal g.succ
+let mem g name = Smap.mem name g.succ
+
+let neighbours m name =
+  match Smap.find_opt name m with
+  | None -> []
+  | Some s -> Sset.elements s
+
+let successors g name = neighbours g.succ name
+let predecessors g name = neighbours g.pred name
+
+(* DFS with colors; on a back edge, reconstruct the cycle from the stack. *)
+let topological_sort g =
+  let color = Hashtbl.create 16 in
+  (* 0 unvisited (absent), 1 in progress, 2 done *)
+  let order = ref [] in
+  let exception Cycle of string list in
+  let rec visit path name =
+    match Hashtbl.find_opt color name with
+    | Some 2 -> ()
+    | Some 1 ->
+        let rec cut = function
+          | [] -> [ name ]
+          | x :: rest -> if x = name then [ x ] else x :: cut rest
+        in
+        raise (Cycle (List.rev (name :: cut path)))
+    | _ ->
+        Hashtbl.replace color name 1;
+        List.iter (visit (name :: path)) (successors g name);
+        Hashtbl.replace color name 2;
+        order := name :: !order
+  in
+  match List.iter (visit []) (nodes g) with
+  | () -> Ok (List.rev !order)
+  | exception Cycle c -> Error c
+
+let reachable g root =
+  let seen = Hashtbl.create 16 in
+  let rec visit name =
+    if not (Hashtbl.mem seen name) then begin
+      Hashtbl.replace seen name ();
+      List.iter visit (successors g name)
+    end
+  in
+  if mem g root then visit root;
+  Hashtbl.fold (fun k () acc -> k :: acc) seen [] |> List.sort String.compare
+
+let subgraph g root =
+  let keep = Sset.of_list (reachable g root) in
+  Sset.fold
+    (fun name acc ->
+      let acc = add_node acc name in
+      List.fold_left
+        (fun acc to_ ->
+          if Sset.mem to_ keep then add_edge acc ~from:name ~to_ else acc)
+        acc (successors g name))
+    keep empty
+
+let equal a b =
+  Smap.equal Sset.equal a.succ b.succ
+
+let to_dot ?(label = fun s -> s) g =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "digraph deps {\n";
+  List.iter
+    (fun n ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %S [label=%S];\n" n (label n)))
+    (nodes g);
+  List.iter
+    (fun n ->
+      List.iter
+        (fun m -> Buffer.add_string buf (Printf.sprintf "  %S -> %S;\n" n m))
+        (successors g n))
+    (nodes g);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let to_tree ?(pp_node = fun s -> s) ~root g =
+  let buf = Buffer.create 256 in
+  let rec walk ~is_root prefix on_path name is_last =
+    let connector =
+      if is_root then "" else if is_last then "`-- " else "|-- "
+    in
+    let cycle_mark = if List.mem name on_path then " (cycle)" else "" in
+    Buffer.add_string buf
+      (prefix ^ connector ^ pp_node name ^ cycle_mark ^ "\n");
+    if cycle_mark = "" then begin
+      let children = successors g name in
+      let n = List.length children in
+      let child_prefix =
+        if is_root then "" else prefix ^ if is_last then "    " else "|   "
+      in
+      List.iteri
+        (fun i c ->
+          walk ~is_root:false child_prefix (name :: on_path) c (i = n - 1))
+        children
+    end
+  in
+  if mem g root then walk ~is_root:true "" [] root true;
+  Buffer.contents buf

@@ -1,0 +1,54 @@
+(** Directed graphs over string-named nodes, with the operations the
+    concretizer and the renderers need: cycle detection, topological order,
+    reachability, sub-DAG extraction, and DOT/ASCII-tree rendering
+    (paper Figs. 2, 7, 9, 13).
+
+    Spack disallows circular dependencies (paper §3.2.1, footnote 1);
+    {!topological_sort} reports any cycle it finds. Graphs are immutable;
+    [add_*] return new graphs. Node payloads are kept outside the graph —
+    the DAG stores only names and edges. *)
+
+type t
+
+val empty : t
+
+val add_node : t -> string -> t
+(** Idempotent. *)
+
+val add_edge : t -> from:string -> to_:string -> t
+(** Adds both endpoints as needed. Idempotent; self-edges are permitted
+    here and reported by {!topological_sort} as cycles. *)
+
+val nodes : t -> string list
+(** All node names, sorted. *)
+
+val node_count : t -> int
+val mem : t -> string -> bool
+
+val successors : t -> string -> string list
+(** Dependency targets of a node, sorted. Empty for unknown nodes. *)
+
+val predecessors : t -> string -> string list
+(** Dependents of a node, sorted. *)
+
+val topological_sort : t -> (string list, string list) result
+(** [Ok order] lists dependencies before dependents (children first —
+    install order). [Error cycle] gives the node names of one cycle. *)
+
+val reachable : t -> string -> string list
+(** Nodes reachable from a root (including the root), sorted. *)
+
+val subgraph : t -> string -> t
+(** The sub-DAG induced by {!reachable} from the given root. *)
+
+val equal : t -> t -> bool
+
+val to_dot : ?label:(string -> string) -> t -> string
+(** Graphviz rendering; [label] overrides node labels. *)
+
+val to_tree :
+  ?pp_node:(string -> string) -> root:string -> t -> string
+(** ASCII dependency tree rooted at [root], in the style of
+    [spack spec]. Shared nodes are expanded at each occurrence; nodes
+    already printed on the current path are cut off to stay finite on
+    cyclic graphs. *)

@@ -1,0 +1,1 @@
+lib/hash/hex.ml: Bytes Char String

@@ -1,0 +1,1 @@
+lib/hash/md5.ml: Array Bytes Char Hex String

@@ -1,0 +1,9 @@
+(** Hexadecimal encoding of byte strings. *)
+
+val encode : string -> string
+(** [encode s] is the lowercase hexadecimal rendering of the bytes of [s].
+    The result has twice the length of [s]. *)
+
+val decode : string -> string option
+(** [decode h] inverts {!encode}. Accepts upper- or lowercase digits.
+    Returns [None] when [h] has odd length or contains a non-hex digit. *)

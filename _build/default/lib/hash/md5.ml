@@ -1,0 +1,86 @@
+(* MD5 per RFC 1321, over 32-bit words as masked native ints. *)
+
+let mask32 = 0xffffffff
+
+(* t.(i) = floor(2^32 * abs(sin(i+1))) — precomputed at startup to avoid
+   embedding 64 magic constants. *)
+let t =
+  Array.init 64 (fun i ->
+      let v = abs_float (sin (float_of_int (i + 1))) in
+      int_of_float (v *. 4294967296.0) land mask32)
+
+let s =
+  [| 7; 12; 17; 22; 7; 12; 17; 22; 7; 12; 17; 22; 7; 12; 17; 22;
+     5;  9; 14; 20; 5;  9; 14; 20; 5;  9; 14; 20; 5;  9; 14; 20;
+     4; 11; 16; 23; 4; 11; 16; 23; 4; 11; 16; 23; 4; 11; 16; 23;
+     6; 10; 15; 21; 6; 10; 15; 21; 6; 10; 15; 21; 6; 10; 15; 21 |]
+
+let rotl x n = ((x lsl n) lor (x lsr (32 - n))) land mask32
+
+let digest msg =
+  let len = String.length msg in
+  let bit_len = len * 8 in
+  let pad_len =
+    let rem = (len + 1 + 8) mod 64 in
+    if rem = 0 then 1 else 1 + (64 - rem)
+  in
+  let total = len + pad_len + 8 in
+  let data = Bytes.make total '\x00' in
+  Bytes.blit_string msg 0 data 0 len;
+  Bytes.set data len '\x80';
+  for i = 0 to 7 do
+    (* length in bits, little-endian *)
+    Bytes.set data
+      (len + pad_len + i)
+      (Char.chr ((bit_len lsr (8 * i)) land 0xff))
+  done;
+  let a0 = ref 0x67452301
+  and b0 = ref 0xefcdab89
+  and c0 = ref 0x98badcfe
+  and d0 = ref 0x10325476 in
+  let m = Array.make 16 0 in
+  let nblocks = total / 64 in
+  for blk = 0 to nblocks - 1 do
+    let off = blk * 64 in
+    for j = 0 to 15 do
+      let i = off + (4 * j) in
+      m.(j) <-
+        Char.code (Bytes.get data i)
+        lor (Char.code (Bytes.get data (i + 1)) lsl 8)
+        lor (Char.code (Bytes.get data (i + 2)) lsl 16)
+        lor (Char.code (Bytes.get data (i + 3)) lsl 24)
+    done;
+    let a = ref !a0 and b = ref !b0 and c = ref !c0 and d = ref !d0 in
+    for i = 0 to 63 do
+      let f, g =
+        if i < 16 then ((!b land !c) lor (lnot !b land !d) land mask32, i)
+        else if i < 32 then
+          ((!d land !b) lor (lnot !d land !c) land mask32, ((5 * i) + 1) mod 16)
+        else if i < 48 then (!b lxor !c lxor !d, ((3 * i) + 5) mod 16)
+        else (!c lxor (!b lor (lnot !d land mask32)) land mask32, (7 * i) mod 16)
+      in
+      let f = (f + !a + t.(i) + m.(g)) land mask32 in
+      a := !d;
+      d := !c;
+      c := !b;
+      b := (!b + rotl f s.(i)) land mask32
+    done;
+    a0 := (!a0 + !a) land mask32;
+    b0 := (!b0 + !b) land mask32;
+    c0 := (!c0 + !c) land mask32;
+    d0 := (!d0 + !d) land mask32
+  done;
+  let out = Bytes.create 16 in
+  let put i v =
+    Bytes.set out (4 * i) (Char.chr (v land 0xff));
+    Bytes.set out ((4 * i) + 1) (Char.chr ((v lsr 8) land 0xff));
+    Bytes.set out ((4 * i) + 2) (Char.chr ((v lsr 16) land 0xff));
+    Bytes.set out ((4 * i) + 3) (Char.chr ((v lsr 24) land 0xff))
+  in
+  put 0 !a0;
+  put 1 !b0;
+  put 2 !c0;
+  put 3 !d0;
+  Bytes.unsafe_to_string out
+
+let hex_digest msg = Hex.encode (digest msg)

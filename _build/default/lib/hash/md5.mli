@@ -1,0 +1,12 @@
+(** Pure-OCaml MD5 (RFC 1321).
+
+    Spack package files carry MD5 checksums for release tarballs (Fig. 1 of
+    the paper); the build simulator verifies simulated downloads against
+    them. Verified against the RFC 1321 test suite and the stdlib [Digest]
+    implementation in the tests. *)
+
+val digest : string -> string
+(** [digest s] is the 16-byte MD5 digest of [s]. *)
+
+val hex_digest : string -> string
+(** [hex_digest s] is [digest s] as 32 lowercase hex characters. *)

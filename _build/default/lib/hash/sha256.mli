@@ -1,0 +1,23 @@
+(** Pure-OCaml SHA-256 (FIPS 180-4).
+
+    Used for install-prefix hashes and spec DAG hashes. Verified against the
+    NIST test vectors in the test suite. *)
+
+type ctx
+(** Streaming hash context. *)
+
+val init : unit -> ctx
+(** Fresh context. *)
+
+val feed : ctx -> string -> unit
+(** [feed ctx s] absorbs the bytes of [s]. *)
+
+val finalize : ctx -> string
+(** [finalize ctx] pads, finishes, and returns the 32-byte digest.
+    The context must not be used afterwards. *)
+
+val digest : string -> string
+(** [digest s] is the 32-byte SHA-256 digest of [s]. *)
+
+val hex_digest : string -> string
+(** [hex_digest s] is [digest s] rendered as 64 lowercase hex characters. *)

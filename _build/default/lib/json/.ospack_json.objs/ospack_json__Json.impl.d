@@ -1,0 +1,1 @@
+lib/json/json.ml: Buffer Char List Printf String

@@ -1,0 +1,261 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* ---------------- printing ---------------- *)
+
+let escape_string buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let to_string ?(indent = 0) t =
+  let buf = Buffer.create 256 in
+  let pad depth =
+    if indent > 0 then begin
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf (String.make (depth * indent) ' ')
+    end
+  in
+  let rec go depth = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (string_of_bool b)
+    | Int i -> Buffer.add_string buf (string_of_int i)
+    | Float f ->
+        (* round-trippable float rendering *)
+        Buffer.add_string buf (Printf.sprintf "%.17g" f)
+    | String s -> escape_string buf s
+    | List [] -> Buffer.add_string buf "[]"
+    | List items ->
+        Buffer.add_char buf '[';
+        List.iteri
+          (fun i item ->
+            if i > 0 then Buffer.add_char buf ',';
+            pad (depth + 1);
+            go (depth + 1) item)
+          items;
+        pad depth;
+        Buffer.add_char buf ']'
+    | Obj [] -> Buffer.add_string buf "{}"
+    | Obj fields ->
+        Buffer.add_char buf '{';
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_char buf ',';
+            pad (depth + 1);
+            escape_string buf k;
+            Buffer.add_char buf ':';
+            if indent > 0 then Buffer.add_char buf ' ';
+            go (depth + 1) v)
+          fields;
+        pad depth;
+        Buffer.add_char buf '}'
+  in
+  go 0 t;
+  Buffer.contents buf
+
+(* ---------------- parsing ---------------- *)
+
+type state = { src : string; mutable pos : int }
+
+exception Parse_error of string
+
+let fail st msg =
+  raise (Parse_error (Printf.sprintf "at offset %d: %s" st.pos msg))
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let advance st = st.pos <- st.pos + 1
+
+let rec skip_ws st =
+  match peek st with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+      advance st;
+      skip_ws st
+  | _ -> ()
+
+let expect st c =
+  match peek st with
+  | Some x when x = c -> advance st
+  | Some x -> fail st (Printf.sprintf "expected %C, got %C" c x)
+  | None -> fail st (Printf.sprintf "expected %C, got end of input" c)
+
+let literal st word value =
+  let n = String.length word in
+  if
+    st.pos + n <= String.length st.src
+    && String.sub st.src st.pos n = word
+  then begin
+    st.pos <- st.pos + n;
+    value
+  end
+  else fail st (Printf.sprintf "expected %s" word)
+
+let parse_hex4 st =
+  if st.pos + 4 > String.length st.src then fail st "truncated \\u escape";
+  let h = String.sub st.src st.pos 4 in
+  st.pos <- st.pos + 4;
+  match int_of_string_opt ("0x" ^ h) with
+  | Some code -> code
+  | None -> fail st ("bad \\u escape " ^ h)
+
+let utf8_of_code buf code =
+  (* encode a BMP code point *)
+  if code < 0x80 then Buffer.add_char buf (Char.chr code)
+  else if code < 0x800 then begin
+    Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+    Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+  end
+  else begin
+    Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+  end
+
+let parse_string st =
+  expect st '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | None -> fail st "unterminated string"
+    | Some '"' ->
+        advance st;
+        Buffer.contents buf
+    | Some '\\' -> (
+        advance st;
+        match peek st with
+        | Some 'n' -> advance st; Buffer.add_char buf '\n'; go ()
+        | Some 't' -> advance st; Buffer.add_char buf '\t'; go ()
+        | Some 'r' -> advance st; Buffer.add_char buf '\r'; go ()
+        | Some 'b' -> advance st; Buffer.add_char buf '\b'; go ()
+        | Some 'f' -> advance st; Buffer.add_char buf '\012'; go ()
+        | Some '"' -> advance st; Buffer.add_char buf '"'; go ()
+        | Some '\\' -> advance st; Buffer.add_char buf '\\'; go ()
+        | Some '/' -> advance st; Buffer.add_char buf '/'; go ()
+        | Some 'u' ->
+            advance st;
+            utf8_of_code buf (parse_hex4 st);
+            go ()
+        | Some c -> fail st (Printf.sprintf "bad escape \\%c" c)
+        | None -> fail st "truncated escape")
+    | Some c ->
+        advance st;
+        Buffer.add_char buf c;
+        go ()
+  in
+  go ()
+
+let parse_number st =
+  let start = st.pos in
+  let is_num_char c =
+    (c >= '0' && c <= '9') || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E'
+  in
+  while (match peek st with Some c when is_num_char c -> true | _ -> false) do
+    advance st
+  done;
+  let text = String.sub st.src start (st.pos - start) in
+  match int_of_string_opt text with
+  | Some i -> Int i
+  | None -> (
+      match float_of_string_opt text with
+      | Some f -> Float f
+      | None -> fail st ("bad number " ^ text))
+
+let rec parse_value st =
+  skip_ws st;
+  match peek st with
+  | Some '"' -> String (parse_string st)
+  | Some '{' -> parse_obj st
+  | Some '[' -> parse_list st
+  | Some 't' -> literal st "true" (Bool true)
+  | Some 'f' -> literal st "false" (Bool false)
+  | Some 'n' -> literal st "null" Null
+  | Some c when c = '-' || (c >= '0' && c <= '9') -> parse_number st
+  | Some c -> fail st (Printf.sprintf "unexpected %C" c)
+  | None -> fail st "unexpected end of input"
+
+and parse_obj st =
+  expect st '{';
+  skip_ws st;
+  if peek st = Some '}' then begin
+    advance st;
+    Obj []
+  end
+  else begin
+    let rec fields acc =
+      skip_ws st;
+      let key = parse_string st in
+      skip_ws st;
+      expect st ':';
+      let value = parse_value st in
+      skip_ws st;
+      match peek st with
+      | Some ',' ->
+          advance st;
+          fields ((key, value) :: acc)
+      | Some '}' ->
+          advance st;
+          Obj (List.rev ((key, value) :: acc))
+      | _ -> fail st "expected ',' or '}'"
+    in
+    fields []
+  end
+
+and parse_list st =
+  expect st '[';
+  skip_ws st;
+  if peek st = Some ']' then begin
+    advance st;
+    List []
+  end
+  else begin
+    let rec items acc =
+      let value = parse_value st in
+      skip_ws st;
+      match peek st with
+      | Some ',' ->
+          advance st;
+          items (value :: acc)
+      | Some ']' ->
+          advance st;
+          List (List.rev (value :: acc))
+      | _ -> fail st "expected ',' or ']'"
+    in
+    items []
+  end
+
+let of_string src =
+  let st = { src; pos = 0 } in
+  match parse_value st with
+  | value ->
+      skip_ws st;
+      if st.pos = String.length src then Ok value
+      else Error (Printf.sprintf "trailing input at offset %d" st.pos)
+  | exception Parse_error msg -> Error msg
+
+(* ---------------- accessors ---------------- *)
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+let to_list = function List items -> Some items | _ -> None
+let get_string = function String s -> Some s | _ -> None
+let get_int = function Int i -> Some i | _ -> None
+let get_bool = function Bool b -> Some b | _ -> None

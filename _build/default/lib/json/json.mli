@@ -1,0 +1,32 @@
+(** A minimal JSON substrate (printer + recursive-descent parser).
+
+    Spack stores each installation's complete concrete spec as a
+    structured file ([spec.yaml], paper §3.4.3) so the exact DAG can be
+    restored later, independent of package-file drift. This module is the
+    serialization substrate for ospack's equivalent ([spec.json]). It
+    supports the JSON subset the spec format needs: objects, arrays,
+    strings (with [\\uXXXX] escapes on parse, standard escapes on print),
+    integers, floats, booleans, and null. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list  (** insertion-ordered *)
+
+val to_string : ?indent:int -> t -> string
+(** Render; [indent] > 0 pretty-prints (default 0: compact). *)
+
+val of_string : string -> (t, string) result
+(** Parse; the error message names the offending position. *)
+
+(** {1 Accessors} — total, returning [None] on shape mismatch. *)
+
+val member : string -> t -> t option
+val to_list : t -> t list option
+val get_string : t -> string option
+val get_int : t -> int option
+val get_bool : t -> bool option

@@ -1,0 +1,1 @@
+lib/layout/layout.ml: List Ospack_spec Ospack_version Printf String

@@ -1,0 +1,1 @@
+lib/layout/layout.mli: Ospack_spec

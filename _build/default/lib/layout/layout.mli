@@ -1,0 +1,31 @@
+(** Install-tree directory layouts — the naming conventions of paper
+    Table 1.
+
+    Every scheme maps a concrete spec node to a unique-enough install
+    prefix. Only the Spack default is truly unique per configuration
+    (it ends in the sub-DAG hash, §3.4.2); the site conventions are
+    lossy projections, which is exactly the paper's point about why
+    naming conventions fail. *)
+
+type scheme =
+  | Spack_default
+      (** [$arch/$compiler-$ver/$package-$version-$options-$hash] *)
+  | Llnl_usr_global  (** [/usr/global/tools/$arch/$package/$version] *)
+  | Llnl_usr_local
+      (** [/usr/local/tools/$package-$compiler-$build-$version] *)
+  | Ornl  (** [$arch/$package/$version/$build] *)
+  | Tacc_lmod
+      (** [$compiler-$ver/$mpi/$mpi_version/$package/$version] *)
+
+val all_schemes : (string * scheme) list
+(** Display name and scheme, in the order of paper Table 1. *)
+
+val node_path : scheme -> root:string -> Ospack_spec.Concrete.t -> string -> string
+(** [node_path scheme ~root spec name] is the install prefix for node
+    [name] of [spec] under the scheme, below the install-tree [root].
+    For schemes with a [$build] component, the sub-DAG hash is used.
+    For the TACC scheme, the MPI component comes from the spec's provider
+    of the [mpi] virtual (["serial/none"] when there is none). *)
+
+val path : scheme -> root:string -> Ospack_spec.Concrete.t -> string
+(** The prefix of the spec's root node. *)

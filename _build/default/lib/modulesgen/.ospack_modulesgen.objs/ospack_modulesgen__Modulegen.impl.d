@@ -1,0 +1,1 @@
+lib/modulesgen/modulegen.ml: Buffer List Ospack_spec Ospack_version Printf

@@ -1,0 +1,1 @@
+lib/modulesgen/modulegen.mli: Ospack_spec

@@ -1,0 +1,33 @@
+(** Environment-module generation (paper §3.5.4).
+
+    Spack can emit dotkit and TCL module files so users can set up a
+    runtime environment with familiar tools; Spack-built packages do not
+    {e need} [LD_LIBRARY_PATH] (they are RPATH'd) but the generated files
+    set it anyway for the benefit of build systems and non-RPATH
+    dependents. {!lmod_hierarchy_path} implements the Lmod-hierarchy
+    generation the paper lists as future work, using the spec's rich
+    dependency information (compiler and MPI) to place the module file in
+    a compiler/MPI hierarchy. *)
+
+val env_entries :
+  Ospack_spec.Concrete.t -> prefix:string -> (string * string) list
+(** The [(variable, prepended path)] pairs a module for this spec sets:
+    PATH, MANPATH, LD_LIBRARY_PATH, PKG_CONFIG_PATH, CMAKE_PREFIX_PATH. *)
+
+val dotkit : Ospack_spec.Concrete.t -> prefix:string -> string
+(** A dotkit (.dk) file: [#c category], [#d description], [dk_alter]
+    lines (the LC format referenced in §2 and §3.5.4). *)
+
+val tcl : Ospack_spec.Concrete.t -> prefix:string -> string
+(** A TCL environment-modules file: [#%Module1.0] header, [prepend-path]
+    lines. *)
+
+val lmod_hierarchy_path : Ospack_spec.Concrete.t -> string
+(** Relative path of this spec's module file in an Lmod hierarchy:
+    [<compiler>/<cver>/<mpi>/<mpiver>/<name>/<version>.lua] under an MPI
+    dependency, [<compiler>/<cver>/<name>/<version>.lua] otherwise, and
+    [Core/<name>/<version>.lua] for compiler-independent placement of the
+    root-less case. *)
+
+val lmod : Ospack_spec.Concrete.t -> prefix:string -> string
+(** An Lmod lua module file. *)

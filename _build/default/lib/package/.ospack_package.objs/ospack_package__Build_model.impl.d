@@ -1,0 +1,1 @@
+lib/package/build_model.ml: Char String

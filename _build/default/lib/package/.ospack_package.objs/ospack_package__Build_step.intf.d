@@ -1,0 +1,1 @@
+lib/package/build_step.mli: Format

@@ -1,0 +1,1 @@
+lib/package/package.ml: Build_model Build_step List Option Ospack_spec Ospack_version Printf Variant_decl

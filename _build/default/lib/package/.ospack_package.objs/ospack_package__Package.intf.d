@@ -1,0 +1,1 @@
+lib/package/package.mli: Build_model Build_step Ospack_spec Ospack_version Variant_decl

@@ -1,0 +1,1 @@
+lib/package/provider_index.ml: List Map Ospack_spec Ospack_version Package Printf Repository String

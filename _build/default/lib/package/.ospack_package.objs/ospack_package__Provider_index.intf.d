@@ -1,0 +1,1 @@
+lib/package/provider_index.mli: Ospack_spec Repository

@@ -1,0 +1,1 @@
+lib/package/repository.ml: Array List Map Option Package Printf String

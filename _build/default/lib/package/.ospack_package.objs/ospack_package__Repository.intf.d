@@ -1,0 +1,1 @@
+lib/package/repository.mli: Package

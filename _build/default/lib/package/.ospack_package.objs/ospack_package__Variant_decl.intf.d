@@ -1,0 +1,1 @@
+lib/package/variant_decl.mli:

@@ -1,0 +1,53 @@
+type build_system = Autotools | Cmake | Makefile_only | Python_setup
+
+type t = {
+  system : build_system;
+  source_files : int;
+  headers_per_compile : int;
+  configure_checks : int;
+  link_steps : int;
+  compile_seconds : float;
+  install_files : int;
+}
+
+let make ?(system = Autotools) ?(source_files = 40) ?(headers_per_compile = 12)
+    ?(configure_checks = 150) ?(link_steps = 2) ?(compile_seconds = 0.35)
+    ?install_files () =
+  {
+    system;
+    source_files;
+    headers_per_compile;
+    configure_checks;
+    link_steps;
+    compile_seconds;
+    install_files =
+      (match install_files with Some n -> n | None -> source_files / 2);
+  }
+
+(* A cheap deterministic string hash (32-bit FNV-1a) drives the synthetic
+   models. *)
+let fnv1a s =
+  let h = ref 0x811c9dc5 in
+  String.iter
+    (fun c ->
+      h := !h lxor Char.code c;
+      h := !h * 0x01000193 land 0xffffffff)
+    s;
+  !h
+
+let default_for name =
+  let h = fnv1a name in
+  let system =
+    match h mod 4 with
+    | 0 -> Autotools
+    | 1 -> Cmake
+    | 2 -> Makefile_only
+    | _ -> Autotools
+  in
+  make ~system
+    ~source_files:(20 + (h / 7 mod 120))
+    ~headers_per_compile:(6 + (h / 11 mod 20))
+    ~configure_checks:(match system with Makefile_only -> 0 | _ -> 80 + (h / 13 mod 200))
+    ~link_steps:(1 + (h / 17 mod 4))
+    ~compile_seconds:(0.15 +. (float_of_int (h / 19 mod 100) /. 250.0))
+    ()

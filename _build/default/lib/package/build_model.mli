@@ -1,0 +1,40 @@
+(** Per-package cost model for the build simulator.
+
+    The paper's Figures 10/11 compare build times of seven real packages
+    under different environments. We cannot run `make`, so each package
+    carries a model of the *shape* of its build: how many compiler
+    invocations it makes, how header-heavy each compile is, how much
+    filesystem-metadata churn its configure stage causes, and how much
+    pure compile time each unit represents. The simulator charges wrapper
+    overhead per compiler invocation and filesystem latency per metadata
+    operation — the two effects the paper measures. *)
+
+type build_system = Autotools | Cmake | Makefile_only | Python_setup
+
+type t = {
+  system : build_system;
+  source_files : int;  (** compiler invocations in the build *)
+  headers_per_compile : int;  (** include-file opens per invocation *)
+  configure_checks : int;
+      (** configure/cmake probe steps; each is several small file ops *)
+  link_steps : int;
+  compile_seconds : float;  (** pure compile time per source file *)
+  install_files : int;
+      (** files written at install time (Python byte-compiles thousands of
+          stdlib modules — the dominant NFS cost of its install) *)
+}
+
+val make :
+  ?system:build_system ->
+  ?source_files:int ->
+  ?headers_per_compile:int ->
+  ?configure_checks:int ->
+  ?link_steps:int ->
+  ?compile_seconds:float ->
+  ?install_files:int ->
+  unit ->
+  t
+
+val default_for : string -> t
+(** A deterministic model derived from the package name, for the hundreds
+    of synthetic universe packages that have no hand-tuned model. *)

@@ -1,0 +1,21 @@
+type t =
+  | Configure of string list
+  | Cmake of string list
+  | Make of string list
+  | Python_setup of string list
+  | Apply_patch of string
+  | Install_file of { rel : string; content : string }
+  | Set_env of string * string
+  | Note of string
+
+let to_string = function
+  | Configure args -> String.concat " " ("./configure" :: args)
+  | Cmake args -> String.concat " " ("cmake" :: args)
+  | Make args -> String.concat " " ("make" :: args)
+  | Python_setup args -> String.concat " " ("python" :: "setup.py" :: args)
+  | Apply_patch p -> "patch -p1 < " ^ p
+  | Install_file { rel; content = _ } -> "install-file " ^ rel
+  | Set_env (k, v) -> Printf.sprintf "export %s=%s" k v
+  | Note s -> "# " ^ s
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

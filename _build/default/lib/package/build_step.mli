@@ -1,0 +1,23 @@
+(** Build steps produced by a package's [install] recipe and interpreted by
+    the build simulator.
+
+    Spack's [install] methods call [configure]/[make]/[cmake] as shell
+    functions (paper Fig. 1); here a recipe returns the same invocations as
+    data, so the simulator can run them against the virtual filesystem and
+    cost model, and tests can assert on the exact command lines a spec
+    produces (paper Fig. 12). *)
+
+type t =
+  | Configure of string list  (** ./configure with arguments *)
+  | Cmake of string list
+  | Make of string list  (** [make] with targets/arguments *)
+  | Python_setup of string list  (** python setup.py ... *)
+  | Apply_patch of string  (** patch file name *)
+  | Install_file of { rel : string; content : string }
+      (** write an extra file at [<prefix>/<rel>] — how Python extensions
+          install site-packages payloads and path-index files (§4.2) *)
+  | Set_env of string * string  (** extra build-environment variable *)
+  | Note of string  (** free-form line recorded in the build log *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,256 @@
+module Ast = Ospack_spec.Ast
+module Parser = Ospack_spec.Parser
+module Concrete = Ospack_spec.Concrete
+module Constraint_ops = Ospack_spec.Constraint_ops
+module Version = Ospack_version.Version
+
+type dep_kind = Build | Link | Run
+
+type dep = { d_spec : Ast.t; d_when : Ast.t option; d_kind : dep_kind }
+type provide = { pv_spec : Ast.node; pv_when : Ast.t option }
+type patch_decl = { pt_file : string; pt_when : Ast.t option }
+type conflict_decl = {
+  cf_spec : Ast.node;
+  cf_when : Ast.t option;
+  cf_msg : string;
+}
+
+type feature_req = { fr_feature : string; fr_when : Ast.t option }
+
+type recipe_ctx = {
+  rc_spec : Concrete.t;
+  rc_prefix : string;
+  rc_dep_prefix : string -> string;
+}
+
+type recipe = recipe_ctx -> Build_step.t list
+
+type t = {
+  p_name : string;
+  p_description : string;
+  p_homepage : string;
+  p_url : string option;
+  p_versions : (Version.t * string option * bool) list;
+  p_dependencies : dep list;
+  p_provides : provide list;
+  p_patches : patch_decl list;
+  p_variants : Variant_decl.t list;
+  p_conflicts : conflict_decl list;
+  p_compiler_features : feature_req list;
+  p_extends : string option;
+  p_build_model : Build_model.t;
+  p_install : recipe;
+  p_install_special : (Ast.t * recipe) list;
+  p_source : string;
+}
+
+type directive =
+  | Dversion of { version : string; md5 : string option; preferred : bool }
+  | Ddep of { spec : string; when_ : string option; kind : dep_kind }
+  | Dprovides of { spec : string; when_ : string option }
+  | Dvariant of Variant_decl.t
+  | Dpatch of { file : string; when_ : string option }
+  | Dconflicts of { spec : string; when_ : string option; msg : string }
+  | Dfeature of { feature : string; when_ : string option }
+  | Dextends of string
+  | Dhomepage of string
+  | Durl of string
+  | Dbuild_model of Build_model.t
+  | Dinstall of recipe
+  | Dinstall_when of { when_ : string; recipe : recipe }
+
+let version ?md5 ?(preferred = false) v =
+  Dversion { version = v; md5; preferred }
+
+let depends_on ?when_ ?(kind = Link) spec = Ddep { spec; when_; kind }
+let provides ?when_ spec = Dprovides { spec; when_ }
+let variant ?default ~descr name = Dvariant (Variant_decl.make ?default ~descr name)
+let patch ?when_ file = Dpatch { file; when_ }
+let conflicts ?when_ ?(msg = "") spec = Dconflicts { spec; when_; msg }
+let requires_compiler_feature ?when_ feature = Dfeature { feature; when_ }
+let extends name = Dextends name
+let homepage h = Dhomepage h
+let url u = Durl u
+let build_model m = Dbuild_model m
+let install r = Dinstall r
+let install_when when_ recipe = Dinstall_when { when_; recipe }
+
+let configure args = Build_step.Configure args
+let cmake args = Build_step.Cmake args
+let make args = Build_step.Make args
+let python_setup args = Build_step.Python_setup args
+let dep_prefix ctx name = ctx.rc_dep_prefix name
+
+let parse_err pkg what src msg =
+  invalid_arg (Printf.sprintf "package %s: bad %s %S: %s" pkg what src msg)
+
+let parse_spec pkg what src =
+  match Parser.parse src with
+  | Ok t -> t
+  | Error e -> parse_err pkg what src e
+
+let parse_node pkg what src =
+  match Parser.parse_node src with
+  | Ok n -> n
+  | Error e -> parse_err pkg what src e
+
+let parse_when pkg = Option.map (parse_spec pkg "when predicate")
+
+let default_recipe : recipe =
+ fun ctx ->
+  [
+    Build_step.Configure [ "--prefix=" ^ ctx.rc_prefix ];
+    Build_step.Make [];
+    Build_step.Make [ "install" ];
+  ]
+
+let apply_directive pkg acc directive =
+  match directive with
+  | Dversion { version = v; md5; preferred } ->
+      let parsed = Version.of_string v in
+      if
+        List.exists (fun (v', _, _) -> Version.equal parsed v') acc.p_versions
+      then
+        invalid_arg
+          (Printf.sprintf "package %s: duplicate version %s" pkg v)
+      else
+        { acc with p_versions = (parsed, md5, preferred) :: acc.p_versions }
+  | Ddep { spec; when_; kind } ->
+      let d_spec = parse_spec pkg "depends_on spec" spec in
+      if d_spec.Ast.root.Ast.name = "" then
+        parse_err pkg "depends_on spec" spec "dependency must be named";
+      let d = { d_spec; d_when = parse_when pkg when_; d_kind = kind } in
+      { acc with p_dependencies = d :: acc.p_dependencies }
+  | Dprovides { spec; when_ } ->
+      let pv_spec = parse_node pkg "provides spec" spec in
+      if pv_spec.Ast.name = "" then
+        parse_err pkg "provides spec" spec "virtual name required";
+      let p = { pv_spec; pv_when = parse_when pkg when_ } in
+      { acc with p_provides = p :: acc.p_provides }
+  | Dvariant v ->
+      if
+        List.exists
+          (fun v' -> v'.Variant_decl.v_name = v.Variant_decl.v_name)
+          acc.p_variants
+      then
+        invalid_arg
+          (Printf.sprintf "package %s: duplicate variant %s" pkg
+             v.Variant_decl.v_name)
+      else { acc with p_variants = v :: acc.p_variants }
+  | Dpatch { file; when_ } ->
+      let p = { pt_file = file; pt_when = parse_when pkg when_ } in
+      { acc with p_patches = p :: acc.p_patches }
+  | Dconflicts { spec; when_; msg } ->
+      let c =
+        {
+          cf_spec = parse_node pkg "conflicts spec" spec;
+          cf_when = parse_when pkg when_;
+          cf_msg = msg;
+        }
+      in
+      { acc with p_conflicts = c :: acc.p_conflicts }
+  | Dfeature { feature; when_ } ->
+      let f = { fr_feature = feature; fr_when = parse_when pkg when_ } in
+      { acc with p_compiler_features = f :: acc.p_compiler_features }
+  | Dextends name -> { acc with p_extends = Some name }
+  | Dhomepage h -> { acc with p_homepage = h }
+  | Durl u -> { acc with p_url = Some u }
+  | Dbuild_model m -> { acc with p_build_model = m }
+  | Dinstall r -> { acc with p_install = r }
+  | Dinstall_when { when_; recipe } ->
+      let pred = parse_spec pkg "install predicate" when_ in
+      { acc with p_install_special = (pred, recipe) :: acc.p_install_special }
+
+let sort_versions vs =
+  List.sort (fun (a, _, _) (b, _, _) -> Version.compare b a) vs
+
+let make_pkg ?(description = "") ?(source = "builtin") name directives =
+  let empty =
+    {
+      p_name = name;
+      p_description = description;
+      p_homepage = "";
+      p_url = None;
+      p_versions = [];
+      p_dependencies = [];
+      p_provides = [];
+      p_patches = [];
+      p_variants = [];
+      p_conflicts = [];
+      p_compiler_features = [];
+      p_extends = None;
+      p_build_model = Build_model.default_for name;
+      p_install = default_recipe;
+      p_install_special = [];
+      p_source = source;
+    }
+  in
+  let pkg = List.fold_left (apply_directive name) empty directives in
+  {
+    pkg with
+    p_versions = sort_versions pkg.p_versions;
+    p_dependencies = List.rev pkg.p_dependencies;
+    p_provides = List.rev pkg.p_provides;
+    p_patches = List.rev pkg.p_patches;
+    p_variants = List.rev pkg.p_variants;
+    p_conflicts = List.rev pkg.p_conflicts;
+    p_compiler_features = List.rev pkg.p_compiler_features;
+    (* declaration order = precedence order for specialized recipes *)
+    p_install_special = List.rev pkg.p_install_special;
+  }
+
+let override base directives =
+  let pkg = List.fold_left (apply_directive base.p_name) base directives in
+  { pkg with p_versions = sort_versions pkg.p_versions }
+
+let with_source t source = { t with p_source = source }
+
+let known_versions t = List.map (fun (v, _, _) -> v) t.p_versions
+
+let preferred_versions t =
+  List.filter_map (fun (v, _, p) -> if p then Some v else None) t.p_versions
+
+let checksum_for t v =
+  List.find_map
+    (fun (v', md5, _) -> if Version.equal v v' then md5 else None)
+    t.p_versions
+
+let find_variant t name =
+  List.find_opt (fun v -> v.Variant_decl.v_name = name) t.p_variants
+
+let variant_defaults t =
+  List.map
+    (fun v -> (v.Variant_decl.v_name, v.Variant_decl.v_default))
+    t.p_variants
+
+(* Predicate evaluation against the package's own node in a concrete spec:
+   node-local constraints check the node itself; ^dep constraints check the
+   rest of the DAG. *)
+let concrete_matches spec name (pred : Ast.t) =
+  match Concrete.node spec name with
+  | None -> false
+  | Some node ->
+      Concrete.node_satisfies node pred.Ast.root
+      && Ast.Smap.for_all
+           (fun _ c ->
+             List.exists
+               (fun n -> Concrete.node_satisfies n c)
+               (Concrete.nodes spec))
+           pred.Ast.deps
+
+let patches_for t spec =
+  List.filter_map
+    (fun p ->
+      match p.pt_when with
+      | None -> Some p.pt_file
+      | Some pred ->
+          if concrete_matches spec t.p_name pred then Some p.pt_file else None)
+    t.p_patches
+
+let recipe_for t spec =
+  let matching =
+    List.find_opt
+      (fun (pred, _) -> concrete_matches spec t.p_name pred)
+      t.p_install_special
+  in
+  match matching with Some (_, r) -> r | None -> t.p_install

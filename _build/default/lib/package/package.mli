@@ -1,0 +1,157 @@
+(** The package DSL (paper §3.1, Fig. 1).
+
+    A Spack package is a Python class with directives ([version],
+    [depends_on], [provides], [patch], [variant]) and an [install] method.
+    Here a package is a value built by folding a list of {!directive}s:
+
+    {[
+      let mpileaks =
+        Package.make "mpileaks"
+          ~description:"Tool to detect and report leaked MPI objects."
+          ~homepage:"https://github.com/hpc/mpileaks"
+          [
+            version "1.0" ~md5:"8838c574b39202a57d7c2d68692718aa";
+            version "1.1" ~md5:"4282eddb08ad8d36df15b06d4be38bcb";
+            depends_on "mpi";
+            depends_on "callpath";
+            variant "debug" ~descr:"Build with debugging symbols";
+            install (fun ctx ->
+                [ configure [ "--with-callpath=" ^ dep_prefix ctx "callpath" ];
+                  make []; make [ "install" ] ]);
+          ]
+    ]}
+
+    Directives accept spec syntax in string form, including conditional
+    [?when_] predicates (§3.2.4), and are parsed eagerly: a malformed spec
+    raises [Invalid_argument] when the package value is constructed, the
+    analogue of a Python syntax error in a package file.
+
+    Build specialization (§3.2.5, Fig. 4) is expressed with
+    {!install_when}: the first specialized recipe whose predicate matches
+    the concrete spec wins, falling back to the default [install]. *)
+
+type dep_kind = Build | Link | Run
+
+type dep = { d_spec : Ospack_spec.Ast.t; d_when : Ospack_spec.Ast.t option; d_kind : dep_kind }
+type provide = { pv_spec : Ospack_spec.Ast.node; pv_when : Ospack_spec.Ast.t option }
+type patch_decl = { pt_file : string; pt_when : Ospack_spec.Ast.t option }
+type conflict_decl = {
+  cf_spec : Ospack_spec.Ast.node;
+  cf_when : Ospack_spec.Ast.t option;
+  cf_msg : string;
+}
+
+type feature_req = { fr_feature : string; fr_when : Ospack_spec.Ast.t option }
+(** A compiler-feature requirement (paper §4.5 future work): the package
+    only builds with toolchains supporting the feature (e.g. ["cxx11"]). *)
+
+type recipe_ctx = {
+  rc_spec : Ospack_spec.Concrete.t;  (** the concrete spec being installed *)
+  rc_prefix : string;  (** unique install prefix for this configuration *)
+  rc_dep_prefix : string -> string;
+      (** install prefix of a direct or transitive dependency, by name;
+          raises [Not_found] for packages outside the DAG *)
+}
+
+type recipe = recipe_ctx -> Build_step.t list
+
+type t = private {
+  p_name : string;
+  p_description : string;
+  p_homepage : string;
+  p_url : string option;
+  p_versions : (Ospack_version.Version.t * string option * bool) list;
+      (** (version, md5 checksum, preferred); newest first *)
+  p_dependencies : dep list;
+  p_provides : provide list;
+  p_patches : patch_decl list;
+  p_variants : Variant_decl.t list;
+  p_conflicts : conflict_decl list;
+  p_compiler_features : feature_req list;
+  p_extends : string option;  (** the package this one extends (§4.2) *)
+  p_build_model : Build_model.t;
+  p_install : recipe;
+  p_install_special : (Ospack_spec.Ast.t * recipe) list;
+  p_source : string;  (** provenance id: which repository defined it *)
+}
+
+type directive
+
+(** {1 Directives} *)
+
+val version : ?md5:string -> ?preferred:bool -> string -> directive
+val depends_on : ?when_:string -> ?kind:dep_kind -> string -> directive
+
+val provides : ?when_:string -> string -> directive
+(** Versioned virtual interface, e.g.
+    [provides "mpi@:2.2" ~when_:"@1.9"] (paper §3.3, Fig. 5). *)
+
+val variant : ?default:bool -> descr:string -> string -> directive
+val patch : ?when_:string -> string -> directive
+val conflicts : ?when_:string -> ?msg:string -> string -> directive
+
+val requires_compiler_feature : ?when_:string -> string -> directive
+(** Constrain concretization to toolchains supporting a feature,
+    optionally only under a condition
+    (e.g. [requires_compiler_feature "cxx11" ~when_:"@8.2:"]). *)
+
+val extends : string -> directive
+val homepage : string -> directive
+val url : string -> directive
+val build_model : Build_model.t -> directive
+
+val install : recipe -> directive
+(** The default build recipe. At most one per package. *)
+
+val install_when : string -> recipe -> directive
+(** A specialized recipe used when the concrete spec satisfies the
+    predicate — the paper's [@when] decorator (Fig. 4). Earlier
+    declarations take precedence. *)
+
+(** {1 Recipe helpers} *)
+
+val configure : string list -> Build_step.t
+val cmake : string list -> Build_step.t
+val make : string list -> Build_step.t
+val python_setup : string list -> Build_step.t
+val dep_prefix : recipe_ctx -> string -> string
+
+(** {1 Construction and queries} *)
+
+val make_pkg :
+  ?description:string -> ?source:string -> string -> directive list -> t
+(** Build a package from directives. Raises [Invalid_argument] on
+    malformed directive specs, duplicate versions, or duplicate variant
+    declarations. *)
+
+val override : t -> directive list -> t
+(** A copy of the package with extra directives applied on top — the
+    site-repository mechanism of §4.3.2 (a site package class inheriting
+    from the built-in one). New versions/deps/provides are appended; a new
+    [install] replaces the default recipe; [install_when] recipes stack in
+    front of inherited ones. *)
+
+val with_source : t -> string -> t
+(** A copy with [p_source] replaced (set by {!Repository.create} to record
+    which repository defined the package). *)
+
+val known_versions : t -> Ospack_version.Version.t list
+(** Declared versions, newest first. *)
+
+val preferred_versions : t -> Ospack_version.Version.t list
+(** Versions flagged [~preferred], newest first. *)
+
+val checksum_for : t -> Ospack_version.Version.t -> string option
+
+val find_variant : t -> string -> Variant_decl.t option
+
+val variant_defaults : t -> (string * bool) list
+
+val recipe_for : t -> Ospack_spec.Concrete.t -> recipe
+(** Dispatch per {!install_when} against the package's node in the
+    concrete spec, falling back to the default recipe. *)
+
+val patches_for : t -> Ospack_spec.Concrete.t -> string list
+(** Patch files whose [when=] predicate matches the package's node in the
+    concrete spec (e.g. the BG/Q Python patches of §3.2.4), in declaration
+    order — applied by the builder at staging time. *)

@@ -1,0 +1,51 @@
+module Ast = Ospack_spec.Ast
+module Vlist = Ospack_version.Vlist
+module Smap = Map.Make (String)
+
+type entry = {
+  e_provider : string;
+  e_provided : Ast.node;
+  e_when : Ast.t option;
+}
+
+type t = { by_virtual : entry list Smap.t }
+
+let build repo =
+  let add m (pkg : Package.t) =
+    List.fold_left
+      (fun m (p : Package.provide) ->
+        let vname = p.pv_spec.Ast.name in
+        if Repository.mem repo vname then
+          invalid_arg
+            (Printf.sprintf
+               "%s is both a real package and a virtual interface (provided \
+                by %s)"
+               vname pkg.p_name)
+        else
+          let entry =
+            { e_provider = pkg.p_name; e_provided = p.pv_spec; e_when = p.pv_when }
+          in
+          Smap.update vname
+            (function None -> Some [ entry ] | Some es -> Some (entry :: es))
+            m)
+      m pkg.p_provides
+  in
+  let by_virtual =
+    List.fold_left add Smap.empty (Repository.all_packages repo)
+    |> Smap.map (fun entries ->
+           List.stable_sort
+             (fun a b -> String.compare a.e_provider b.e_provider)
+             (List.rev entries))
+  in
+  { by_virtual }
+
+let is_virtual t name = Smap.mem name t.by_virtual
+let virtual_names t = Smap.bindings t.by_virtual |> List.map fst
+
+let providers t name =
+  match Smap.find_opt name t.by_virtual with None -> [] | Some es -> es
+
+let providers_satisfying t (req : Ast.node) =
+  providers t req.Ast.name
+  |> List.filter (fun e ->
+         Vlist.intersects e.e_provided.Ast.versions req.Ast.versions)

@@ -1,0 +1,37 @@
+(** Reverse index from virtual interfaces to their providers
+    (paper §3.3 and §3.4: "Spack replaces it with a suitable interface
+    provider by building a reverse index from virtual packages to providers
+    using the provides-when directives").
+
+    A virtual name is any name that appears in some package's [provides]
+    directive. Interfaces are versioned: mvapich2@1.9 provides [mpi@:2.2],
+    mvapich2@2.0 provides [mpi@:3.0] (Fig. 5), so a requirement [mpi@2:]
+    constrains which provider versions qualify. *)
+
+type entry = {
+  e_provider : string;  (** providing package name *)
+  e_provided : Ospack_spec.Ast.node;
+      (** the virtual interface node: name + provided version set *)
+  e_when : Ospack_spec.Ast.t option;
+      (** provider-side condition, e.g. [@1.9] *)
+}
+
+type t
+
+val build : Repository.t -> t
+(** Index every package of the repository. Raises [Invalid_argument] when
+    a name is both a real package and a virtual interface. *)
+
+val is_virtual : t -> string -> bool
+
+val virtual_names : t -> string list
+(** All virtual interface names, sorted. *)
+
+val providers : t -> string -> entry list
+(** All provider entries for a virtual name, sorted by provider name.
+    Empty for non-virtual names. *)
+
+val providers_satisfying : t -> Ospack_spec.Ast.node -> entry list
+(** Provider entries whose provided version set intersects the
+    requirement's version constraint (the requirement node's name is the
+    virtual name). *)

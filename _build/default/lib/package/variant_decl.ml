@@ -1,0 +1,4 @@
+type t = { v_name : string; v_default : bool; v_description : string }
+
+let make ?(default = false) ~descr name =
+  { v_name = name; v_default = default; v_description = descr }

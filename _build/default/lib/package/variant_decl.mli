@@ -1,0 +1,11 @@
+(** Declared build variants (paper §3.2.3, "Variants").
+
+    A variant is a named boolean build option (e.g. [debug], [mpi],
+    [shared]). Packages declare the variants they understand together with
+    a default; constraining an undeclared variant is a concretization
+    error. *)
+
+type t = { v_name : string; v_default : bool; v_description : string }
+
+val make : ?default:bool -> descr:string -> string -> t
+(** [default] is [false] when omitted, like Spack's [variant()]. *)

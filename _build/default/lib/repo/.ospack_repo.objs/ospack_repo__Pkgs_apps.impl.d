@@ -1,0 +1,1 @@
+lib/repo/pkgs_apps.ml: List Ospack_package

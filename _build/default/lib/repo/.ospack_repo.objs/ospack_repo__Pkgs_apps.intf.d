@@ -1,0 +1,1 @@
+lib/repo/pkgs_apps.mli: Ospack_package

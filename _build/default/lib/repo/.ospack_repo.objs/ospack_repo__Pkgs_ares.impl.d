@@ -1,0 +1,1 @@
+lib/repo/pkgs_ares.ml: List Ospack_package

@@ -1,0 +1,1 @@
+lib/repo/pkgs_ares.mli: Ospack_package

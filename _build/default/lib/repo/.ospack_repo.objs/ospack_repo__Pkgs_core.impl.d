@@ -1,0 +1,1 @@
+lib/repo/pkgs_core.ml: List Ospack_package

@@ -1,0 +1,1 @@
+lib/repo/pkgs_core.mli: Ospack_package

@@ -1,0 +1,1 @@
+lib/repo/pkgs_lang.ml: List Ospack_package Printf String

@@ -1,0 +1,1 @@
+lib/repo/pkgs_lang.mli: Ospack_package

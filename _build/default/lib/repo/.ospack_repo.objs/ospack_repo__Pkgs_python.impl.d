@@ -1,0 +1,1 @@
+lib/repo/pkgs_python.ml: List Ospack_package Printf String

@@ -1,0 +1,1 @@
+lib/repo/pkgs_python.mli: Ospack_package

@@ -1,0 +1,1 @@
+lib/repo/pkgs_solvers.ml: List Ospack_package

@@ -1,0 +1,1 @@
+lib/repo/pkgs_solvers.mli: Ospack_package

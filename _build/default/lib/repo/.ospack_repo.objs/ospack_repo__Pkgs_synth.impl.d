@@ -1,0 +1,1 @@
+lib/repo/pkgs_synth.ml: Array Char List Ospack_package Printf String

@@ -1,0 +1,1 @@
+lib/repo/pkgs_synth.mli: Ospack_package

@@ -1,0 +1,1 @@
+lib/repo/pkgs_tools.ml: List Ospack_package

@@ -1,0 +1,1 @@
+lib/repo/pkgs_tools.mli: Ospack_package

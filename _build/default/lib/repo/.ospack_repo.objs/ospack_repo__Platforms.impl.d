@@ -1,0 +1,1 @@
+lib/repo/platforms.ml: Ospack_config

@@ -1,0 +1,1 @@
+lib/repo/platforms.mli: Ospack_config

@@ -1,0 +1,1 @@
+lib/repo/universe.ml: List Ospack_config Ospack_package Pkgs_apps Pkgs_ares Pkgs_core Pkgs_lang Pkgs_python Pkgs_solvers Pkgs_synth Pkgs_tools Platforms

@@ -1,0 +1,1 @@
+lib/repo/universe.mli: Ospack_config Ospack_package

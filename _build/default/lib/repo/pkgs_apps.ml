@@ -1,0 +1,100 @@
+open Ospack_package.Package
+
+(* a typical proxy app: serial core, +mpi and +openmp variants, the
+   OpenMP build needs a toolchain with the right feature *)
+let proxy name ~descr ~versions ?(deps = []) ?(omp_feature = "openmp3") () =
+  make_pkg name ~description:descr
+    (List.map (fun v -> version v) versions
+    @ [
+        variant "mpi" ~default:true ~descr:"Distributed-memory build";
+        variant "openmp" ~descr:"Threaded build";
+        depends_on "mpi" ~when_:"+mpi";
+        requires_compiler_feature omp_feature ~when_:"+openmp";
+      ]
+    @ List.map (fun d -> depends_on d) deps)
+
+let lulesh =
+  proxy "lulesh" ~descr:"Livermore unstructured Lagrange explicit shock \
+                         hydrodynamics proxy app."
+    ~versions:[ "2.0.3"; "1.0" ] ()
+
+let kripke =
+  proxy "kripke" ~descr:"3D Sn deterministic particle transport proxy \
+                         (LLNL)."
+    ~versions:[ "1.1"; "1.0" ]
+    ~deps:[ "cmake" ] ()
+
+let amg2013 =
+  proxy "amg2013" ~descr:"Algebraic multigrid proxy derived from hypre."
+    ~versions:[ "2013" ] ()
+
+let umt2013 =
+  proxy "umt2013" ~descr:"Unstructured-mesh deterministic radiation \
+                          transport proxy (LLNL)."
+    ~versions:[ "2013" ]
+    ~deps:[ "python"; "boost" ] ()
+
+let minife =
+  proxy "minife" ~descr:"Finite-element assembly/solve miniapp (Mantevo)."
+    ~versions:[ "2.0.1" ] ()
+
+let hpccg =
+  proxy "hpccg" ~descr:"Conjugate-gradient miniapp (Mantevo)."
+    ~versions:[ "1.0" ] ()
+
+let comd =
+  proxy "comd" ~descr:"Classical molecular dynamics proxy (ExMatEx)."
+    ~versions:[ "1.1" ] ()
+
+let snap_proxy =
+  proxy "snap-proxy" ~descr:"Sn transport proxy for PARTISN (LANL)."
+    ~versions:[ "1.05" ] ()
+
+let xsbench =
+  proxy "xsbench" ~descr:"Monte Carlo macroscopic-cross-section lookup \
+                          kernel (ANL)."
+    ~versions:[ "13" ] ()
+
+let nekbone =
+  proxy "nekbone" ~descr:"Spectral-element poisson-solve proxy for Nek5000."
+    ~versions:[ "2.3.4" ] ()
+
+let hpl =
+  make_pkg "hpl"
+    ~description:"High-Performance Linpack (the Top500 benchmark of §1)."
+    [
+      version "2.1";
+      depends_on "mpi";
+      depends_on "blas";
+    ]
+
+let graph500 =
+  make_pkg "graph500"
+    ~description:"The Graph500 BFS benchmark (§1: Sequoia ranked second)."
+    [ version "2.1.4"; depends_on "mpi" ]
+
+let stream =
+  make_pkg "stream"
+    ~description:"McCalpin STREAM memory-bandwidth benchmark."
+    [
+      version "5.10";
+      variant "openmp" ~default:true ~descr:"Threaded build";
+      requires_compiler_feature "openmp3" ~when_:"+openmp";
+    ]
+
+let ior =
+  make_pkg "ior"
+    ~description:"Parallel filesystem I/O benchmark."
+    [ version "3.0.1"; depends_on "mpi"; depends_on "hdf5" ]
+
+let mdtest =
+  make_pkg "mdtest"
+    ~description:"Metadata-heavy filesystem benchmark (the access pattern \
+                  behind Fig. 10's NFS penalty)."
+    [ version "1.9.3"; depends_on "mpi" ]
+
+let packages =
+  [
+    lulesh; kripke; amg2013; umt2013; minife; hpccg; comd; snap_proxy;
+    xsbench; nekbone; hpl; graph500; stream; ior; mdtest;
+  ]

@@ -1,0 +1,7 @@
+(** Era-accurate HPC proxy applications and production-adjacent codes
+    (the DOE co-design miniapps of the early 2010s: LULESH, Kripke,
+    AMG2013, miniFE, CoMD, …). They sit at the top of real dependency
+    stacks, carry MPI/OpenMP variants, and use compiler-feature
+    requirements (§4.5) for their OpenMP builds. *)
+
+val packages : Ospack_package.Package.t list

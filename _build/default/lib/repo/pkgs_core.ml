@@ -1,0 +1,406 @@
+open Ospack_package.Package
+module Build_model = Ospack_package.Build_model
+module Build_step = Ospack_package.Build_step
+
+(* Build models for the seven packages of Figs. 10/11 are hand-tuned so the
+   simulated build-time experiment reproduces the paper's overhead bands:
+   configure-heavy autotools packages (libpng, libelf) suffer most from NFS
+   latency and wrapper overhead; compile-dominated CMake builds (dyninst)
+   barely notice the wrappers. *)
+
+let autotools ~sources ~checks ~csec =
+  Build_model.make ~system:Build_model.Autotools ~source_files:sources
+    ~headers_per_compile:10 ~configure_checks:checks ~link_steps:2
+    ~compile_seconds:csec ()
+
+let cmake_model ~sources ~checks ~csec =
+  Build_model.make ~system:Build_model.Cmake ~source_files:sources
+    ~headers_per_compile:18 ~configure_checks:checks ~link_steps:3
+    ~compile_seconds:csec ()
+
+let mpileaks =
+  make_pkg "mpileaks"
+    ~description:"Tool to detect and report leaked MPI objects."
+    [
+      homepage "https://github.com/hpc/mpileaks";
+      url "https://github.com/hpc/mpileaks/releases/download/v1.0/mpileaks-1.0.tar.gz";
+      version "1.0" ~md5:"8838c574b39202a57d7c2d68692718aa";
+      version "1.1" ~md5:"4282eddb08ad8d36df15b06d4be38bcb";
+      version "1.2";
+      version "1.4";
+      depends_on "mpi";
+      depends_on "callpath";
+      variant "debug" ~descr:"Build with debug symbols and leak tracebacks";
+      build_model (autotools ~sources:22 ~checks:90 ~csec:0.14);
+      install
+        (fun ctx ->
+          [
+            configure
+              [
+                "--prefix=" ^ ctx.rc_prefix;
+                "--with-callpath=" ^ dep_prefix ctx "callpath";
+              ];
+            make [];
+            make [ "install" ];
+          ]);
+    ]
+
+let callpath =
+  make_pkg "callpath"
+    ~description:"Library for representing callpaths consistently in \
+                  distributed-memory performance tools."
+    [
+      version "0.9";
+      version "1.0";
+      version "1.1";
+      depends_on "dyninst";
+      depends_on "mpi";
+      variant "debug" ~descr:"Debug build";
+      build_model (autotools ~sources:40 ~checks:180 ~csec:0.12);
+    ]
+
+let dyninst =
+  make_pkg "dyninst"
+    ~description:"API for dynamic binary instrumentation."
+    [
+      version "8.1.1";
+      version "8.1.2";
+      version "8.2";
+      depends_on "libelf";
+      depends_on "libdwarf";
+      depends_on "boost" ~when_:"@8.2:";
+      (* Fig. 10/11: dyninst's build is dominated by heavy C++ compiles,
+         so wrapper overhead is in the noise *)
+      build_model (cmake_model ~sources:300 ~checks:120 ~csec:0.80);
+      (* paper Fig. 4: releases up to 8.1 build with autotools, newer
+         releases with CMake *)
+      install_when "@:8.1"
+        (fun ctx ->
+          [
+            configure [ "--prefix=" ^ ctx.rc_prefix ];
+            make [];
+            make [ "install" ];
+          ]);
+      install
+        (fun ctx ->
+          [
+            cmake [ "-DCMAKE_INSTALL_PREFIX=" ^ ctx.rc_prefix; ".." ];
+            make [];
+            make [ "install" ];
+          ]);
+    ]
+
+let libdwarf =
+  make_pkg "libdwarf"
+    ~description:"DWARF debugging-information consumer library."
+    [
+      version "20130729" ~md5:"4cc5e48693f7b93b7aa0261e63c0e21d";
+      version "20130207";
+      depends_on "libelf";
+      build_model (autotools ~sources:110 ~checks:110 ~csec:0.28);
+    ]
+
+let libelf =
+  make_pkg "libelf"
+    ~description:"ELF object file access library."
+    [
+      version "0.8.10";
+      version "0.8.12";
+      version "0.8.13" ~md5:"4136d7b4c04df68b686570afa26988ac";
+      build_model (autotools ~sources:36 ~checks:240 ~csec:0.11);
+    ]
+
+let libpng =
+  make_pkg "libpng"
+    ~description:"Official PNG reference library."
+    [
+      version "1.6.16";
+      version "1.5.13";
+      depends_on "zlib";
+      build_model (autotools ~sources:28 ~checks:340 ~csec:0.05);
+    ]
+
+let lapack =
+  make_pkg "lapack"
+    ~description:"Netlib LAPACK: linear algebra package (CMake build)."
+    [
+      version "3.5.0";
+      version "3.4.2";
+      depends_on "blas";
+      provides "lapack-interface";
+      build_model (cmake_model ~sources:190 ~checks:90 ~csec:0.22);
+      install
+        (fun ctx ->
+          [
+            cmake [ "-DCMAKE_INSTALL_PREFIX=" ^ ctx.rc_prefix; ".." ];
+            make [];
+            make [ "install" ];
+          ]);
+    ]
+
+(* --- MPI implementations: the versioned virtual providers of Fig. 5 --- *)
+
+let mpich =
+  make_pkg "mpich"
+    ~description:"MPICH: high-performance implementation of MPI."
+    [
+      version "3.0.4" ~md5:"9c5d5d4fe1e17dd12153f40bc5b6dbc0";
+      version "3.0.3";
+      version "1.4.1";
+      provides "mpi@:3" ~when_:"@3:";
+      provides "mpi@:1" ~when_:"@1:1.9";
+      variant "verbs" ~descr:"Build with InfiniBand verbs support";
+      build_model (autotools ~sources:260 ~checks:600 ~csec:0.25);
+    ]
+
+let mvapich2 =
+  make_pkg "mvapich2"
+    ~description:"MVAPICH2: MPI over InfiniBand."
+    [
+      version "1.9" ~md5:"5dc58ed08fd3142c260b70fe297e127c";
+      version "2.0";
+      provides "mpi@:2.2" ~when_:"@1.9";
+      provides "mpi@:3.0" ~when_:"@2.0";
+      build_model (autotools ~sources:300 ~checks:650 ~csec:0.24);
+    ]
+
+let mvapich =
+  make_pkg "mvapich"
+    ~description:"Legacy MVAPICH 1.x."
+    [ version "1.2"; provides "mpi@:1" ]
+
+let openmpi =
+  make_pkg "openmpi"
+    ~description:"Open MPI: open-source MPI-2 implementation."
+    [
+      version "1.4.7";
+      version "1.6.5";
+      version "1.8.2";
+      provides "mpi@:2.2";
+      variant "psm" ~descr:"Build with PSM support";
+      build_model (autotools ~sources:340 ~checks:700 ~csec:0.23);
+    ]
+
+let bgq_mpi =
+  make_pkg "bgq-mpi"
+    ~description:"IBM Blue Gene/Q system MPI (vendor driver stack)."
+    [
+      version "1.0";
+      provides "mpi@:2.2";
+      conflicts "=linux-x86_64" ~msg:"BG/Q MPI only exists on BG/Q";
+      conflicts "=cray_xe6" ~msg:"BG/Q MPI only exists on BG/Q";
+    ]
+
+let cray_mpi =
+  make_pkg "cray-mpi"
+    ~description:"Cray MPT: vendor MPI for Cray systems."
+    [
+      version "7.0.1";
+      provides "mpi@:3.0";
+      conflicts "=linux-x86_64" ~msg:"Cray MPT only exists on Cray";
+      conflicts "=bgq" ~msg:"Cray MPT only exists on Cray";
+    ]
+
+(* --- BLAS providers --- *)
+
+let atlas =
+  make_pkg "atlas"
+    ~description:"Automatically Tuned Linear Algebra Software."
+    [ version "3.10.2"; version "3.8.4"; provides "blas" ]
+
+let netlib_blas =
+  make_pkg "netlib-blas"
+    ~description:"Netlib reference BLAS."
+    [ version "3.5.0"; provides "blas" ]
+
+let mkl =
+  make_pkg "mkl"
+    ~description:"Intel Math Kernel Library (site-licensed binary)."
+    [
+      version "11.2";
+      provides "blas";
+      provides "lapack-interface";
+      conflicts "=bgq" ~msg:"MKL does not support Blue Gene/Q";
+    ]
+
+(* --- gperftools: the combinatorial-naming use case (§4.1, Fig. 12) --- *)
+
+let gperftools =
+  make_pkg "gperftools"
+    ~description:"Google performance tools: thread-safe tcmalloc and \
+                  lightweight profilers."
+    [
+      version "2.4" ~md5:"2171cea3bbe053036fb5d5d25176a160";
+      version "2.3";
+      variant "libunwind" ~descr:"Unwind stacks with libunwind";
+      depends_on "libunwind" ~when_:"+libunwind";
+      patch "gperftools2.4_xlc.patch" ~when_:"@2.4%xl";
+      build_model (autotools ~sources:90 ~checks:210 ~csec:0.30);
+      install_when "=bgq%xl"
+        (fun ctx ->
+          [
+            configure
+              [ "--prefix=" ^ ctx.rc_prefix; "LDFLAGS=-qnostaticlink" ];
+            make [];
+            make [ "install" ];
+          ]);
+      install_when "=bgq"
+        (fun ctx ->
+          [
+            configure [ "--prefix=" ^ ctx.rc_prefix; "LDFLAGS=-dynamic" ];
+            make [];
+            make [ "install" ];
+          ]);
+      install
+        (fun ctx ->
+          [ configure [ "--prefix=" ^ ctx.rc_prefix ]; make []; make [ "install" ] ]);
+    ]
+
+let libunwind =
+  make_pkg "libunwind"
+    ~description:"Call-chain unwinding API."
+    [ version "1.1"; version "1.0.1" ]
+
+(* --- common HPC dependency libraries --- *)
+
+let simple name ~descr versions deps =
+  make_pkg name ~description:descr
+    (List.map (fun v -> version v) versions
+    @ List.map (fun d -> depends_on d) deps)
+
+let zlib = simple "zlib" ~descr:"Lossless compression library." [ "1.2.8"; "1.2.7" ] []
+let bzip2 = simple "bzip2" ~descr:"Block-sorting compressor library." [ "1.0.6" ] []
+let ncurses = simple "ncurses" ~descr:"Terminal control library." [ "5.9" ] []
+
+let readline =
+  simple "readline" ~descr:"GNU line-editing library." [ "6.3" ] [ "ncurses" ]
+
+let sqlite = simple "sqlite" ~descr:"Embedded SQL database." [ "3.8.5" ] []
+
+let openssl =
+  simple "openssl" ~descr:"TLS/SSL and crypto library." [ "1.0.1h" ] [ "zlib" ]
+
+let boost =
+  make_pkg "boost"
+    ~description:"Peer-reviewed portable C++ source libraries."
+    [
+      version "1.55.0";
+      version "1.54.0";
+      version "1.49.0";
+      version "1.47.0";
+      variant "mpi" ~descr:"Build Boost.MPI";
+      depends_on "mpi" ~when_:"+mpi";
+      build_model (cmake_model ~sources:260 ~checks:150 ~csec:0.55);
+    ]
+
+let cmake_pkg =
+  simple "cmake" ~descr:"Cross-platform build-system generator."
+    [ "3.0.2"; "2.8.10" ] []
+
+let gsl = simple "gsl" ~descr:"GNU Scientific Library." [ "1.16" ] []
+
+let hdf5 =
+  make_pkg "hdf5"
+    ~description:"HDF5 data model and file format."
+    [
+      version "1.8.13";
+      version "1.8.12";
+      depends_on "zlib";
+      variant "mpi" ~default:true ~descr:"Enable parallel HDF5";
+      depends_on "mpi" ~when_:"+mpi";
+      build_model (autotools ~sources:420 ~checks:900 ~csec:0.22);
+    ]
+
+let silo =
+  make_pkg "silo"
+    ~description:"Mesh and field I/O library (LLNL)."
+    [
+      version "4.9.1";
+      version "4.8";
+      depends_on "hdf5";
+      (* the paper's §3.5 example: --with-silo conventions differ *)
+      install
+        (fun ctx ->
+          [
+            configure
+              [
+                "--prefix=" ^ ctx.rc_prefix;
+                "--with-hdf5=" ^ dep_prefix ctx "hdf5";
+              ];
+            make [];
+            make [ "install" ];
+          ]);
+    ]
+
+let hypre =
+  make_pkg "hypre"
+    ~description:"Scalable linear solvers and multigrid methods (LLNL)."
+    [
+      version "2.9.0b";
+      version "2.8.0b";
+      depends_on "mpi";
+      depends_on "blas";
+      depends_on "lapack";
+    ]
+
+let samrai =
+  make_pkg "samrai"
+    ~description:"Structured adaptive mesh refinement library (LLNL)."
+    [
+      version "3.8.4";
+      version "3.7.3";
+      depends_on "mpi";
+      depends_on "hdf5";
+      depends_on "boost" ~when_:"@3.8:";
+    ]
+
+let papi =
+  simple "papi" ~descr:"Performance API for hardware counters." [ "5.3.0" ] []
+
+let hwloc = simple "hwloc" ~descr:"Hardware locality library." [ "1.9"; "1.8" ] []
+
+let global_arrays =
+  make_pkg "ga"
+    ~description:"Global Arrays PGAS toolkit."
+    [ version "5.3"; depends_on "mpi"; depends_on "blas" ]
+
+let tcl = simple "tcl" ~descr:"Tool Command Language." [ "8.6.2"; "8.5.15" ] []
+let tk = simple "tk" ~descr:"Tk GUI toolkit." [ "8.6.2" ] [ "tcl" ]
+
+let hpdf =
+  make_pkg "hpdf"
+    ~description:"libHaru PDF generation library."
+    [
+      version "2.3.0";
+      depends_on "zlib";
+      variant "png" ~descr:"PNG image embedding";
+      depends_on "libpng" ~when_:"+png";
+    ]
+
+let gerris =
+  make_pkg "gerris"
+    ~description:"Computational fluid dynamics solver (needs MPI-2, Fig. 5)."
+    [ version "1.3.2"; depends_on "mpi@2:" ]
+
+let rose =
+  make_pkg "rose"
+    ~description:"ROSE source-to-source compiler framework (§3.2.4: \
+                  boost version depends on the compiler)."
+    [
+      version "0.9.5a";
+      depends_on "boost@1.47.0" ~when_:"%gcc@:4.7";
+      depends_on "boost@1.55.0" ~when_:"%gcc@4.8:";
+      depends_on "boost@1.55.0" ~when_:"%intel";
+      depends_on "boost@1.55.0" ~when_:"%clang";
+      depends_on "boost@1.55.0" ~when_:"%xl";
+      depends_on "boost@1.55.0" ~when_:"%pgi";
+    ]
+
+let packages =
+  [
+    mpileaks; callpath; dyninst; libdwarf; libelf; libpng; lapack; mpich;
+    mvapich2; mvapich; openmpi; bgq_mpi; cray_mpi; atlas; netlib_blas; mkl;
+    gperftools; libunwind; zlib; bzip2; ncurses; readline; sqlite; openssl;
+    boost; cmake_pkg; gsl; hdf5; silo; hypre; samrai; papi; hwloc;
+    global_arrays; tcl; tk; hpdf; gerris; rose;
+  ]

@@ -1,0 +1,7 @@
+(** The packages named throughout the paper: the mpileaks tool-stack of
+    Figs. 1–2 and 7, the MPI implementations and virtual-provider examples
+    of Fig. 5, the gperftools package of Fig. 12, the seven build-overhead
+    packages of Figs. 10–11, and common HPC libraries (BLAS providers,
+    boost, HDF5, Silo, HYPRE, …). *)
+
+val packages : Ospack_package.Package.t list

@@ -1,0 +1,78 @@
+open Ospack_package.Package
+module Build_step = Ospack_package.Build_step
+
+let r_site_library = "rlib/R/library"
+let lua_share = "share/lua/5.2"
+
+let interpreter_extension ~extendee ~payload_dir name ~descr ~versions ~deps =
+  make_pkg name ~description:descr
+    ([ extends extendee; depends_on extendee ]
+    @ List.map (fun v -> version v) versions
+    @ List.map (fun d -> depends_on d) deps
+    @ [
+        install
+          (fun ctx ->
+            let short =
+              match String.index_opt name '-' with
+              | Some i -> String.sub name (i + 1) (String.length name - i - 1)
+              | None -> name
+            in
+            [
+              configure [ "--prefix=" ^ ctx.rc_prefix ];
+              make [];
+              make [ "install" ];
+              Build_step.Install_file
+                {
+                  rel = Printf.sprintf "%s/%s/index" payload_dir short;
+                  content = Printf.sprintf "# %s module index\n" short;
+                };
+            ]);
+      ])
+
+let r =
+  make_pkg "r"
+    ~description:"The R language and environment for statistical computing."
+    [
+      version "3.1.2"; version "3.0.3";
+      depends_on "readline";
+      depends_on "ncurses";
+      depends_on "zlib";
+      depends_on "curl";
+      depends_on "blas";
+      depends_on "lapack";
+    ]
+
+let r_ext = interpreter_extension ~extendee:"r" ~payload_dir:r_site_library
+
+let lua =
+  make_pkg "lua"
+    ~description:"The Lua scripting language (what Lmod itself is written \
+                  in, §3.5.4)."
+    [ version "5.2.3"; version "5.1.5"; depends_on "readline"; depends_on "ncurses" ]
+
+let lua_ext = interpreter_extension ~extendee:"lua" ~payload_dir:lua_share
+
+let ruby =
+  make_pkg "ruby"
+    ~description:"The Ruby programming language."
+    [ version "2.2.0"; depends_on "openssl"; depends_on "zlib"; depends_on "readline" ]
+
+let ruby_ext =
+  interpreter_extension ~extendee:"ruby" ~payload_dir:"lib/ruby/gems"
+
+let packages =
+  [
+    r;
+    r_ext "r-ggplot2" ~descr:"Grammar-of-graphics plotting for R."
+      ~versions:[ "1.0.0" ] ~deps:[];
+    r_ext "r-matrix" ~descr:"Sparse and dense matrix classes for R."
+      ~versions:[ "1.1-4" ] ~deps:[];
+    lua;
+    lua_ext "lua-luafilesystem" ~descr:"Filesystem API for Lua."
+      ~versions:[ "1.6.3" ] ~deps:[];
+    lua_ext "lua-luaposix" ~descr:"POSIX bindings for Lua."
+      ~versions:[ "33.2.1" ] ~deps:[];
+    ruby;
+    ruby_ext "ruby-rake" ~descr:"Ruby build tool." ~versions:[ "10.4.2" ]
+      ~deps:[];
+  ]

@@ -1,0 +1,103 @@
+open Ospack_package.Package
+module Build_model = Ospack_package.Build_model
+
+let site_packages = "lib/python2.7/site-packages"
+let pth_file = site_packages ^ "/extensions.pth"
+
+let python =
+  make_pkg "python"
+    ~description:"The Python interpreter (built from source so it runs on \
+                  machines whose native stack does not support it, §4.4)."
+    [
+      homepage "https://www.python.org";
+      version "2.7.9" ~preferred:true;
+      version "2.7.8";
+      version "2.6.9";
+      version "3.4.2";
+      depends_on "bzip2";
+      depends_on "ncurses";
+      depends_on "readline";
+      depends_on "sqlite";
+      depends_on "openssl";
+      depends_on "zlib";
+      (* paper §3.2.4: platform/compiler-specific patches on BG/Q *)
+      patch "python-bgq-xlc.patch" ~when_:"=bgq%xl";
+      patch "python-bgq-clang.patch" ~when_:"=bgq%clang";
+      (* configure-heavy, and installing/byte-compiling thousands of stdlib
+         modules makes the install phase very sensitive to NFS latency *)
+      build_model
+        (Build_model.make ~system:Build_model.Autotools ~source_files:300
+           ~headers_per_compile:20 ~configure_checks:1300 ~link_steps:4
+           ~compile_seconds:0.13 ~install_files:3500 ());
+    ]
+
+(* A Python extension: installs a module directory plus its lines in the
+   shared extensions.pth path-index file. Test-harness dependencies hide
+   behind a +test variant so application DAGs (ares, Fig. 13) stay at the
+   paper's census. *)
+let py_extension name ~descr ~versions ?(test_deps = []) ~deps () =
+  make_pkg name ~description:descr
+    ([ extends "python"; depends_on "python" ]
+    @ List.map (fun v -> version v) versions
+    @ List.map (fun d -> depends_on d) deps
+    @ (match test_deps with
+      | [] -> []
+      | ds ->
+          variant "test" ~descr:"Build with the test harness"
+          :: List.map (fun d -> depends_on d ~when_:"+test") ds)
+    @ [
+        install
+          (fun ctx ->
+            let module_name =
+              (* py-numpy installs "numpy" *)
+              if String.length name > 3 && String.sub name 0 3 = "py-" then
+                String.sub name 3 (String.length name - 3)
+              else name
+            in
+            [
+              python_setup [ "build" ];
+              python_setup [ "install"; "--prefix=" ^ ctx.rc_prefix ];
+              Ospack_package.Build_step.Install_file
+                {
+                  rel =
+                    Printf.sprintf "%s/%s/__init__.py" site_packages
+                      module_name;
+                  content = Printf.sprintf "# %s package\n" module_name;
+                };
+              Ospack_package.Build_step.Install_file
+                {
+                  rel = pth_file;
+                  content =
+                    Printf.sprintf "%s/%s/%s\n" ctx.rc_prefix site_packages
+                      module_name;
+                };
+            ]);
+      ])
+
+let packages =
+  [
+    python;
+    py_extension "py-setuptools" ~descr:"Python packaging tools."
+      ~versions:[ "11.3.1"; "2.2" ] ~deps:[] ();
+    py_extension "py-nose" ~descr:"Python unittest extension."
+      ~versions:[ "1.3.4" ] ~deps:[ "py-setuptools" ] ();
+    py_extension "py-six" ~descr:"Python 2/3 compatibility shims."
+      ~versions:[ "1.9.0" ] ~deps:[ "py-setuptools" ] ();
+    py_extension "py-numpy" ~descr:"NumPy array package."
+      ~versions:[ "1.9.1"; "1.8.2" ]
+      ~deps:[ "blas"; "lapack" ] ~test_deps:[ "py-nose" ] ();
+    py_extension "py-scipy" ~descr:"SciPy scientific toolkit."
+      ~versions:[ "0.15.0"; "0.14.1" ]
+      ~deps:[ "py-numpy" ] ~test_deps:[ "py-nose" ] ();
+    py_extension "py-matplotlib" ~descr:"Matplotlib plotting."
+      ~versions:[ "1.4.2" ]
+      ~deps:[ "py-setuptools"; "py-numpy"; "libpng" ] ();
+    py_extension "py-h5py" ~descr:"HDF5 bindings for Python."
+      ~versions:[ "2.4.0" ]
+      ~deps:[ "py-numpy"; "hdf5" ] ();
+    py_extension "py-pyside" ~descr:"Qt bindings (large extension)."
+      ~versions:[ "1.2.2" ] ~deps:[ "py-setuptools" ] ();
+    py_extension "py-pandas" ~descr:"Dataframes for Python."
+      ~versions:[ "0.15.2" ]
+      ~deps:[ "py-numpy"; "py-six" ] ();
+  ]

@@ -1,0 +1,16 @@
+(** The Python interpreter and its extension packages (paper §4.2).
+
+    [python] is extendable; the py-* packages use the [extends] directive,
+    install their payload under [lib/python2.7/site-packages/], and share a
+    path-index file ([extensions.pth]) that exercises the merge-on-activate
+    mechanism. Python carries the paper's §3.2.4 Blue Gene/Q patches. *)
+
+val packages : Ospack_package.Package.t list
+
+val pth_file : string
+(** Relative path of the shared path-index file every extension installs
+    (the merge-conflict case of §4.2). *)
+
+val site_packages : string
+(** Relative site-packages directory under a python (or extension)
+    prefix. *)

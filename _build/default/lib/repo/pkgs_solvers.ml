@@ -1,0 +1,162 @@
+open Ospack_package.Package
+
+let simple name ~descr versions deps =
+  make_pkg name ~description:descr
+    (List.map (fun v -> version v) versions
+    @ List.map (fun d -> depends_on d) deps)
+
+let openblas =
+  make_pkg "openblas"
+    ~description:"Optimized BLAS based on GotoBLAS2."
+    [ version "0.2.13"; version "0.2.12"; provides "blas" ]
+
+let netlib_scalapack =
+  simple "netlib-scalapack" ~descr:"Distributed-memory dense linear algebra."
+    [ "1.8.0" ]
+    [ "mpi"; "blas"; "lapack" ]
+
+let fftw =
+  make_pkg "fftw"
+    ~description:"Fastest Fourier Transform in the West."
+    [
+      version "3.3.4"; version "3.3.3";
+      variant "mpi" ~default:true ~descr:"Distributed transforms";
+      variant "float" ~descr:"Single-precision build";
+      depends_on "mpi" ~when_:"+mpi";
+    ]
+
+let metis =
+  simple "metis" ~descr:"Serial graph partitioning and fill-reducing \
+                         orderings." [ "5.1.0"; "4.0.3" ] [ "cmake" ]
+
+let parmetis =
+  simple "parmetis" ~descr:"Parallel graph partitioning." [ "4.0.3" ]
+    [ "cmake"; "metis"; "mpi" ]
+
+let scotch =
+  make_pkg "scotch"
+    ~description:"Graph/mesh partitioning and sparse ordering."
+    [
+      version "6.0.3"; version "5.1.10b";
+      variant "mpi" ~default:true ~descr:"Build PT-Scotch";
+      depends_on "mpi" ~when_:"+mpi";
+      depends_on "flex" ~kind:Build;
+      depends_on "bison" ~kind:Build;
+    ]
+
+let superlu_dist =
+  simple "superlu-dist" ~descr:"Distributed sparse direct solver."
+    [ "3.3" ]
+    [ "mpi"; "blas"; "parmetis"; "metis" ]
+
+let mumps =
+  make_pkg "mumps"
+    ~description:"Multifrontal massively parallel sparse direct solver."
+    [
+      version "5.0.0";
+      variant "mpi" ~default:true ~descr:"Parallel solver";
+      depends_on "blas";
+      depends_on "scotch";
+      depends_on "metis";
+      depends_on "mpi" ~when_:"+mpi";
+      depends_on "netlib-scalapack" ~when_:"+mpi";
+    ]
+
+let sundials =
+  simple "sundials" ~descr:"ODE/DAE integrators with sensitivity analysis."
+    [ "2.5.0" ]
+    [ "mpi"; "blas"; "lapack" ]
+
+let arpack_ng =
+  simple "arpack-ng" ~descr:"Large-scale eigenvalue solver." [ "3.2.0" ]
+    [ "blas"; "lapack"; "mpi" ]
+
+let suite_sparse =
+  simple "suite-sparse" ~descr:"Sparse matrix algorithms (CHOLMOD, UMFPACK)."
+    [ "4.2.1" ]
+    [ "blas"; "lapack"; "metis" ]
+
+let eigen =
+  make_pkg "eigen"
+    ~description:"C++ template library for linear algebra."
+    [
+      version "3.2.7";
+      variant "suitesparse" ~descr:"SuiteSparse support";
+      depends_on "suite-sparse" ~when_:"+suitesparse";
+      depends_on "fftw";
+      requires_compiler_feature "cxx11" ~when_:"@3.3:";
+    ]
+
+let petsc =
+  make_pkg "petsc"
+    ~description:"Portable Extensible Toolkit for Scientific Computation."
+    [
+      version "3.5.3"; version "3.5.2"; version "3.4.4";
+      variant "hypre" ~default:true ~descr:"Hypre preconditioners";
+      variant "superlu" ~default:true ~descr:"SuperLU_DIST solver";
+      variant "metis" ~default:true ~descr:"Metis/ParMetis orderings";
+      depends_on "mpi";
+      depends_on "blas";
+      depends_on "lapack";
+      depends_on "hypre" ~when_:"+hypre";
+      depends_on "superlu-dist" ~when_:"+superlu";
+      depends_on "parmetis" ~when_:"+metis";
+      depends_on "python" ~kind:Build;
+    ]
+
+let netcdf =
+  make_pkg "netcdf"
+    ~description:"Network Common Data Form scientific I/O."
+    [
+      version "4.3.3";
+      variant "mpi" ~default:true ~descr:"Parallel I/O via HDF5";
+      depends_on "hdf5" ~when_:"+mpi";
+      depends_on "zlib";
+      depends_on "curl";
+      depends_on "m4" ~kind:Build;
+    ]
+
+let netcdf_fortran =
+  simple "netcdf-fortran" ~descr:"Fortran bindings for NetCDF." [ "4.4.1" ]
+    [ "netcdf" ]
+
+let exodusii =
+  simple "exodusii" ~descr:"Finite-element data model on NetCDF." [ "6.09" ]
+    [ "cmake"; "netcdf" ]
+
+let zoltan =
+  simple "zoltan" ~descr:"Dynamic load balancing and partitioning."
+    [ "3.81" ] [ "mpi" ]
+
+let trilinos =
+  make_pkg "trilinos"
+    ~description:"Sandia's framework of scientific solver packages."
+    [
+      version "12.0.1"; version "11.14.3";
+      variant "mpi" ~default:true ~descr:"Parallel build";
+      depends_on "cmake" ~kind:Build;
+      depends_on "blas";
+      depends_on "lapack";
+      depends_on "boost";
+      depends_on "netcdf";
+      depends_on "exodusii";
+      depends_on "metis";
+      depends_on "parmetis";
+      depends_on "zoltan";
+      depends_on "mpi" ~when_:"+mpi";
+      requires_compiler_feature "cxx11" ~when_:"@12:";
+      build_model
+        (Ospack_package.Build_model.make
+           ~system:Ospack_package.Build_model.Cmake ~source_files:1200
+           ~headers_per_compile:35 ~configure_checks:400 ~link_steps:20
+           ~compile_seconds:0.7 ());
+    ]
+
+let glm = simple "glm" ~descr:"OpenGL mathematics (header-only)." [ "0.9.6.3" ] [ "cmake" ]
+
+let packages =
+  [
+    openblas; netlib_scalapack; fftw; metis; parmetis; scotch; superlu_dist;
+    mumps; sundials; arpack_ng; suite_sparse; eigen; petsc; netcdf;
+    netcdf_fortran; exodusii; zoltan; trilinos; glm;
+  ]

@@ -1,0 +1,7 @@
+(** The numerical solver / math-library stack of the Spack era: BLAS
+    providers, sparse-matrix orderings (metis/parmetis/scotch), direct and
+    iterative solvers (superlu-dist, mumps, petsc), frameworks (trilinos),
+    and scientific I/O (netcdf, exodusii). These are the deepest real DAGs
+    in the universe after ares. *)
+
+val packages : Ospack_package.Package.t list

@@ -1,0 +1,124 @@
+open Ospack_package.Package
+
+(* name-seeded pseudo-randomness (32-bit FNV-1a): stable across runs *)
+let fnv s =
+  let h = ref 0x811c9dc5 in
+  String.iter
+    (fun c ->
+      h := !h lxor Char.code c;
+      h := !h * 0x01000193 land 0xffffffff)
+    s;
+  !h
+
+let pick h k = h mod k
+
+let layer_sizes count =
+  let a = max 1 (count * 4 / 10) in
+  let b = max 1 (count * 3 / 10) in
+  let c = max 1 (count * 2 / 10) in
+  let d = max 0 (count - a - b - c) in
+  (a, b, c, d)
+
+let name_of layer i = Printf.sprintf "syn-%c%03d" layer i
+
+let versions_for name =
+  let h = fnv (name ^ ":v") in
+  let vs = [ version "1.0"; version "1.1" ] in
+  if pick h 3 = 0 then version "2.0" :: vs else vs
+
+let variant_for name =
+  let h = fnv (name ^ ":var") in
+  if pick h 4 = 0 then
+    [ variant "shared" ~default:true ~descr:"Build shared libraries" ]
+  else []
+
+let deps_from pool name ~fanout =
+  if pool = [||] then []
+  else
+    let h = fnv (name ^ ":deps") in
+    let n = 1 + pick h fanout in
+    List.init n (fun i ->
+        pool.(pick (fnv (Printf.sprintf "%s:%d" name i)) (Array.length pool)))
+    |> List.sort_uniq String.compare
+    |> List.map (fun d -> depends_on d)
+
+(* synthetic virtual interfaces: a few layer-c packages provide them, and
+   some layer-d packages consume them, so virtual resolution is exercised
+   across the whole of Fig. 8's sweep, not just for mpi/blas *)
+let synth_virtual k = Printf.sprintf "syn-iface-%d" k
+
+let generate ~count =
+  let na, nb, nc, nd = layer_sizes count in
+  let names l n = Array.init n (name_of l) in
+  let a_names = names 'a' na
+  and b_names = names 'b' nb
+  and c_names = names 'c' nc
+  and d_names = names 'd' nd in
+  let mk layer_char pool ~fanout ~extra ?(more = fun _ _ -> []) name =
+    let h = fnv name in
+    let extra_deps =
+      List.filter_map
+        (fun (p, m) -> if pick (h / 3) m = 0 then Some (depends_on p) else None)
+        extra
+    in
+    make_pkg name
+      ~description:
+        (Printf.sprintf "Synthetic layer-%c package (universe filler)."
+           layer_char)
+      (versions_for name @ variant_for name
+      @ deps_from pool name ~fanout
+      @ extra_deps @ more name h)
+  in
+  let a_pkgs =
+    Array.to_list a_names
+    |> List.map (mk 'a' [||] ~fanout:1 ~extra:[])
+  in
+  let b_pkgs =
+    Array.to_list b_names
+    |> List.map (mk 'b' a_names ~fanout:3 ~extra:[ ("zlib", 5) ])
+  in
+  let c_pkgs =
+    Array.to_list c_names
+    |> List.mapi (fun i name ->
+           mk 'c' b_names ~fanout:3
+             ~extra:[ ("boost", 6); ("libelf", 7); ("gsl", 8) ]
+             ~more:(fun _ _ ->
+               (* every seventh layer-c package provides a synthetic
+                  versioned interface; the index-round-robin guarantees
+                  each of the three interfaces has a provider whenever the
+                  layer has at least 15 packages *)
+               if i mod 7 = 0 then
+                 [ provides (synth_virtual (i / 7 mod 3) ^ "@:2") ]
+               else [])
+             name)
+  in
+  let synth_virtual_available k =
+    Array.length c_names >= (((k + 1) * 7) - 6) + 1
+    (* provider for iface k exists at c index 7k *)
+    && 7 * k < Array.length c_names
+  in
+  let d_pkgs =
+    Array.to_list d_names
+    |> List.map
+         (mk 'd' c_names ~fanout:4
+            ~extra:[ ("mpi", 3); ("hdf5", 5); ("python", 7); ("lapack", 6) ]
+            ~more:(fun name h ->
+              (* some layer-d packages consume a synthetic interface (only
+                 ones that provably have a provider), and packages that
+                 declared the shared variant gain a conditional dependency
+                 gated on it *)
+              let k = pick (h / 11) 3 in
+              let iface =
+                if pick (h / 7) 3 = 0 && synth_virtual_available k then
+                  [ depends_on (synth_virtual k) ]
+                else []
+              in
+              let conditional =
+                (* only packages that actually declared the variant *)
+                if pick (fnv (name ^ ":var")) 4 = 0 then
+                  [ depends_on "zlib" ~when_:"+shared" ]
+                else []
+              in
+              iface @ conditional))
+  in
+  a_pkgs @ b_pkgs @ c_pkgs @ d_pkgs

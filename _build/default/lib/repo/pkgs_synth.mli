@@ -1,0 +1,10 @@
+(** Deterministic synthetic packages filling the universe out to the
+    paper's repository size (245 packages, §3.4.1 / Fig. 8).
+
+    Packages are generated in four dependency layers (leaves up to
+    application-like roots that also pull real packages such as boost,
+    zlib and mpi), with name-seeded pseudo-random fan-out, so concretized
+    DAG sizes spread across the 1–50-node range of Fig. 8's x-axis. The
+    generator is a pure function of the requested count. *)
+
+val generate : count:int -> Ospack_package.Package.t list

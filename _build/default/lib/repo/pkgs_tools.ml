@@ -1,0 +1,166 @@
+open Ospack_package.Package
+
+let simple name ~descr versions deps =
+  make_pkg name ~description:descr
+    (List.map (fun v -> version v) versions
+    @ List.map (fun d -> depends_on d) deps)
+
+(* --- GNU toolchain substrate --- *)
+
+let m4 = simple "m4" ~descr:"GNU macro processor." [ "1.4.17" ] []
+let autoconf = simple "autoconf" ~descr:"GNU configure generator." [ "2.69" ] [ "m4" ]
+let automake = simple "automake" ~descr:"GNU makefile generator." [ "1.14.1" ] [ "autoconf" ]
+let libtool = simple "libtool" ~descr:"GNU shared-library support script." [ "2.4.2" ] [ "m4" ]
+let pkg_config = simple "pkg-config" ~descr:"Library metadata tool." [ "0.28" ] []
+let bison = simple "bison" ~descr:"GNU parser generator." [ "3.0.2" ] [ "m4" ]
+let flex = simple "flex" ~descr:"Fast lexical analyzer." [ "2.5.39" ] [ "bison" ]
+let tar = simple "tar" ~descr:"GNU tape archiver." [ "1.28" ] []
+
+let gmp = simple "gmp" ~descr:"GNU multiple-precision arithmetic." [ "6.0.0a"; "5.1.3" ] []
+let mpfr = simple "mpfr" ~descr:"Multiple-precision floats with rounding." [ "3.1.2" ] [ "gmp" ]
+let mpc = simple "mpc" ~descr:"Multiple-precision complex arithmetic." [ "1.0.2" ] [ "gmp"; "mpfr" ]
+let isl = simple "isl" ~descr:"Integer set library for polyhedral analysis." [ "0.14" ] [ "gmp" ]
+
+let binutils =
+  make_pkg "binutils"
+    ~description:"GNU binary utilities (as, ld, objdump)."
+    [
+      version "2.25"; version "2.24";
+      variant "gold" ~descr:"Build the gold linker";
+      depends_on "flex" ~when_:"+gold";
+      depends_on "bison" ~when_:"+gold";
+    ]
+
+let elfutils =
+  simple "elfutils" ~descr:"ELF object manipulation tools (alternative to \
+                            libelf)." [ "0.163" ] [ "m4" ]
+
+let llvm =
+  make_pkg "llvm"
+    ~description:"The LLVM compiler infrastructure."
+    [
+      version "3.5.1"; version "3.4.2";
+      depends_on "cmake" ~kind:Build;
+      depends_on "python" ~kind:Build;
+      requires_compiler_feature "cxx11";
+      build_model
+        (Ospack_package.Build_model.make
+           ~system:Ospack_package.Build_model.Cmake ~source_files:900
+           ~headers_per_compile:30 ~configure_checks:200 ~link_steps:12
+           ~compile_seconds:0.9 ());
+    ]
+
+(* --- utility libraries --- *)
+
+let pcre = simple "pcre" ~descr:"Perl-compatible regular expressions." [ "8.36" ] []
+let swig = simple "swig" ~descr:"Interface-wrapper generator." [ "3.0.2" ] [ "pcre" ]
+let libxml2 = simple "libxml2" ~descr:"XML parser library." [ "2.9.2" ] [ "zlib" ]
+
+let curl =
+  simple "curl" ~descr:"URL transfer library." [ "7.40.0" ]
+    [ "openssl"; "zlib" ]
+
+let git =
+  simple "git" ~descr:"Distributed version control." [ "2.2.1" ]
+    [ "curl"; "openssl"; "zlib"; "pcre" ]
+
+let expat = simple "expat" ~descr:"Stream-oriented XML parser." [ "2.1.0" ] []
+
+(* --- the STAT debugging-tool stack (LLNL) --- *)
+
+let graphlib =
+  simple "graphlib" ~descr:"Graph merging library for tree-based overlay \
+                            networks (LLNL)." [ "2.0.0"; "1.5.1" ] []
+
+let launchmon =
+  simple "launchmon" ~descr:"Scalable tool-daemon launching (LLNL)."
+    [ "1.0.1" ] [ "autoconf"; "automake"; "libtool" ]
+
+let mrnet =
+  make_pkg "mrnet"
+    ~description:"Multicast/reduction overlay network for tools."
+    [
+      version "4.1.0"; version "4.0.0";
+      variant "lwthreads" ~descr:"Lightweight threading support";
+      depends_on "boost";
+    ]
+
+let stat =
+  make_pkg "stat"
+    ~description:"The Stack Trace Analysis Tool: scalable lightweight \
+                  debugging (LLNL)."
+    [
+      version "2.1.0"; version "2.0.0";
+      variant "gui" ~descr:"Build the GUI (needs python)";
+      depends_on "dyninst";
+      depends_on "graphlib";
+      depends_on "launchmon";
+      depends_on "mrnet";
+      depends_on "mpi";
+      depends_on "swig" ~when_:"+gui";
+      depends_on "python" ~when_:"+gui";
+    ]
+
+(* --- the SCR checkpoint/restart stack (LLNL) --- *)
+
+let lwgrp =
+  simple "lwgrp" ~descr:"Lightweight group representation for MPI (LLNL)."
+    [ "1.0.2" ] [ "mpi" ]
+
+let dtcmp =
+  simple "dtcmp" ~descr:"Datatype comparison operations for MPI (LLNL)."
+    [ "1.0.3" ] [ "mpi"; "lwgrp" ]
+
+let pdsh = simple "pdsh" ~descr:"Parallel remote shell." [ "2.31" ] []
+
+let scr =
+  make_pkg "scr"
+    ~description:"Scalable checkpoint/restart for MPI (LLNL)."
+    [
+      version "1.1-7"; version "1.1.8";
+      depends_on "mpi";
+      depends_on "pdsh";
+      depends_on "dtcmp";
+    ]
+
+(* --- performance tools --- *)
+
+let adept_utils =
+  simple "adept-utils" ~descr:"Utility libraries for LLNL performance tools."
+    [ "1.0.1"; "1.0" ] [ "boost"; "mpi" ]
+
+let automaded =
+  simple "automaded" ~descr:"AutomaDeD: MPI debugging via progress-dependence \
+                             analysis (LLNL)." [ "1.0" ]
+    [ "mpi"; "boost"; "callpath" ]
+
+let pdt =
+  simple "pdt" ~descr:"Program database toolkit for source analysis."
+    [ "3.20" ] []
+
+let tau =
+  make_pkg "tau"
+    ~description:"Tuning and Analysis Utilities: parallel profiling."
+    [
+      version "2.23.1";
+      variant "mpi" ~default:true ~descr:"Profile MPI";
+      depends_on "pdt";
+      depends_on "mpi" ~when_:"+mpi";
+      depends_on "papi";
+    ]
+
+let memaxes =
+  simple "memaxes" ~descr:"Memory-access visualization (LLNL)." [ "0.5" ]
+    [ "cmake" ]
+
+let ravel =
+  simple "ravel" ~descr:"Parallel trace visualization by logical time \
+                         (LLNL)." [ "1.0" ] [ "cmake"; "mpi" ]
+
+let packages =
+  [
+    m4; autoconf; automake; libtool; pkg_config; bison; flex; tar; gmp; mpfr;
+    mpc; isl; binutils; elfutils; llvm; pcre; swig; libxml2; curl; git; expat;
+    graphlib; launchmon; mrnet; stat; lwgrp; dtcmp; pdsh; scr; adept_utils;
+    automaded; pdt; tau; memaxes; ravel;
+  ]

@@ -1,0 +1,7 @@
+(** Developer-tool and LLNL tool-stack packages of the Spack era: the STAT
+    debugging stack (dyninst/graphlib/launchmon/mrnet — the tools Spack was
+    originally built to manage), the SCR checkpointing stack, compiler
+    infrastructure (llvm, binutils, the GNU autotools chain), and common
+    utility libraries. These give the universe realistic mid-size DAGs. *)
+
+val packages : Ospack_package.Package.t list

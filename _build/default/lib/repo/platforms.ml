@@ -1,0 +1,26 @@
+module Compilers = Ospack_config.Compilers
+
+let linux = "linux-x86_64"
+let bgq = "bgq"
+let cray_xe6 = "cray_xe6"
+let all = [ linux; bgq; cray_xe6 ]
+
+let toolchains =
+  Compilers.create
+    [
+      Compilers.toolchain "gcc" "4.4.7" ~features:[ "c99"; "openmp3" ];
+      Compilers.toolchain "gcc" "4.7.3"
+        ~features:[ "c99"; "cxx11"; "openmp3" ];
+      Compilers.toolchain "gcc" "4.9.2"
+        ~features:[ "c99"; "cxx11"; "cxx14"; "openmp4" ];
+      Compilers.toolchain "intel" "14.0.3" ~archs:[ linux; cray_xe6 ]
+        ~features:[ "c99"; "cxx11"; "openmp3" ];
+      Compilers.toolchain "intel" "15.0.1" ~archs:[ linux; cray_xe6 ]
+        ~features:[ "c99"; "cxx11"; "cxx14"; "openmp4" ];
+      Compilers.toolchain "pgi" "14.7" ~archs:[ linux; cray_xe6 ]
+        ~features:[ "c99"; "openmp3"; "cuda" ];
+      Compilers.toolchain "clang" "3.5.0" ~archs:[ linux; bgq ]
+        ~features:[ "c99"; "cxx11"; "cxx14" ];
+      Compilers.toolchain "xl" "12.1" ~archs:[ bgq ]
+        ~features:[ "c99"; "openmp3" ];
+    ]

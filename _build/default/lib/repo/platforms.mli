@@ -1,0 +1,21 @@
+(** The mock machine fleet: architectures and compiler toolchains, modeled
+    on LLNL's clusters as used in paper Table 3 (Linux commodity clusters,
+    Blue Gene/Q, Cray XE6). *)
+
+val linux : string
+(** ["linux-x86_64"] — commodity Linux cluster. *)
+
+val bgq : string
+(** ["bgq"] — Blue Gene/Q (lightweight kernel; only gcc/clang/xl). *)
+
+val cray_xe6 : string
+(** ["cray_xe6"] — Cielo-class Cray. *)
+
+val all : string list
+
+val toolchains : Ospack_config.Compilers.t
+(** The full registry: gcc 4.4.7/4.7.3/4.9.2 everywhere; intel 14.0.3 and
+    15.0.1 on Linux and Cray; pgi 14.7 on Linux and Cray; clang 3.5.0 on
+    Linux and BG/Q; xl 12.1 on BG/Q only — matching the rows and columns
+    of Table 3. Each toolchain declares period-accurate language features
+    (c99/cxx11/cxx14/openmp/cuda) for §4.5 feature requirements. *)

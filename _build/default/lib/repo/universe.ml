@@ -1,0 +1,35 @@
+module Repository = Ospack_package.Repository
+module Config = Ospack_config.Config
+
+let target_size = 245
+
+let build () =
+  let fixed =
+    Pkgs_core.packages @ Pkgs_python.packages @ Pkgs_ares.packages
+    @ Pkgs_tools.packages @ Pkgs_solvers.packages @ Pkgs_apps.packages
+    @ Pkgs_lang.packages
+  in
+  let missing = max 0 (target_size - List.length fixed) in
+  Repository.create ~name:"builtin" (fixed @ Pkgs_synth.generate ~count:missing)
+
+let memo = ref None
+
+let repository () =
+  match !memo with
+  | Some repo -> repo
+  | None ->
+      let repo = build () in
+      memo := Some repo;
+      repo
+
+let compilers = Platforms.toolchains
+
+let default_config =
+  Config.of_assoc
+    [
+      ("arch", Platforms.linux);
+      ("compiler_order", "gcc@4.9.2, intel, clang");
+      ("providers.mpi", "mvapich2, openmpi, mpich, mvapich");
+      ("providers.blas", "netlib-blas, atlas, mkl");
+      ("providers.lapack-interface", "lapack");
+    ]

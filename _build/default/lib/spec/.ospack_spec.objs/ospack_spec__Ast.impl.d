@@ -1,0 +1,1 @@
+lib/spec/ast.ml: Bool List Map Ospack_version String

@@ -1,0 +1,1 @@
+lib/spec/ast.mli: Map Ospack_version

@@ -1,0 +1,1 @@
+lib/spec/concrete.ml: Ast Bool Constraint_ops Format Hashtbl List Map Option Ospack_dag Ospack_hash Ospack_json Ospack_version Printf Result String

@@ -1,0 +1,1 @@
+lib/spec/concrete.mli: Ast Format Map Ospack_dag Ospack_json Ospack_version

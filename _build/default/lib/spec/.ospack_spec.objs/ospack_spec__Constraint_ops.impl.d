@@ -1,0 +1,1 @@
+lib/spec/constraint_ops.ml: Ast Bool Format Ospack_version Printf Result

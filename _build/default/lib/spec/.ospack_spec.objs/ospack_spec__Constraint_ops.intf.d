@@ -1,0 +1,1 @@
+lib/spec/constraint_ops.mli: Ast Format

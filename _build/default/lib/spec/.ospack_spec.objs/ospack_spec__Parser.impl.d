@@ -1,0 +1,1 @@
+lib/spec/parser.ml: Ast Bool Constraint_ops Lexer List Ospack_version Printf Result

@@ -1,0 +1,1 @@
+lib/spec/printer.ml: Ast Buffer Format List Ospack_version String

@@ -1,0 +1,199 @@
+module Smap = Ast.Smap
+module Vlist = Ospack_version.Vlist
+module Vrange = Ospack_version.Vrange
+module Version = Ospack_version.Version
+
+type state = { mutable toks : Lexer.token list; src : string }
+
+let peek st = match st.toks with [] -> None | t :: _ -> Some t
+let advance st = match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+
+let fail st msg =
+  Error (Printf.sprintf "parse error in %S: %s" st.src msg)
+
+let expect_id st what =
+  match peek st with
+  | Some (Lexer.Id s) ->
+      advance st;
+      Ok s
+  | Some t -> fail st (Printf.sprintf "expected %s, got %s" what (Lexer.token_to_string t))
+  | None -> fail st (Printf.sprintf "expected %s, got end of input" what)
+
+let ( let* ) = Result.bind
+
+let parse_version st =
+  match expect_id st "version" with
+  | Error e -> Error e
+  | Ok s -> (
+      match Version.of_string_opt s with
+      | Some v -> Ok v
+      | None -> fail st (Printf.sprintf "invalid version %S" s))
+
+(* version-item := id | id ':' | ':' id | id ':' id | ':' *)
+let parse_range st =
+  match peek st with
+  | Some Lexer.Colon -> (
+      advance st;
+      match peek st with
+      | Some (Lexer.Id _) ->
+          let* hi = parse_version st in
+          Ok (Vrange.range None (Some hi))
+      | _ -> Ok Vrange.unbounded)
+  | Some (Lexer.Id _) -> (
+      let* lo = parse_version st in
+      match peek st with
+      | Some Lexer.Colon -> (
+          advance st;
+          match peek st with
+          | Some (Lexer.Id _) ->
+              let* hi = parse_version st in
+              let r = Vrange.range (Some lo) (Some hi) in
+              if Vrange.is_empty r then
+                fail st
+                  (Printf.sprintf "empty version range %s:%s"
+                     (Version.to_string lo) (Version.to_string hi))
+              else Ok r
+          | _ -> Ok (Vrange.range (Some lo) None))
+      | _ -> Ok (Vrange.point lo))
+  | Some t ->
+      fail st
+        (Printf.sprintf "expected version after '@', got %s"
+           (Lexer.token_to_string t))
+  | None -> fail st "expected version after '@', got end of input"
+
+let parse_version_list st =
+  let* first = parse_range st in
+  let rec more acc =
+    match peek st with
+    | Some Lexer.Comma ->
+        advance st;
+        let* r = parse_range st in
+        more (r :: acc)
+    | _ -> Ok (Vlist.of_ranges (List.rev acc))
+  in
+  more [ first ]
+
+(* node := [id] { '@' version-list | '+'/'-'/'~' variant
+                | '%' compiler | '=' arch } *)
+let parse_one_node st ~require_name =
+  let* name =
+    match peek st with
+    | Some (Lexer.Id s) ->
+        advance st;
+        Ok s
+    | _ when require_name -> expect_id st "package name"
+    | _ -> Ok ""
+  in
+  let node = ref (Ast.unconstrained name) in
+  let set_versions vl =
+    let merged = Vlist.intersect !node.Ast.versions vl in
+    if Vlist.is_empty merged then
+      fail st
+        (Printf.sprintf "conflicting version constraints on %s: %s vs %s" name
+           (Vlist.to_string !node.Ast.versions)
+           (Vlist.to_string vl))
+    else begin
+      node := Ast.with_versions merged !node;
+      Ok ()
+    end
+  in
+  let set_variant v enabled =
+    match Smap.find_opt v !node.Ast.variants with
+    | Some existing when not (Bool.equal existing enabled) ->
+        fail st (Printf.sprintf "variant %s both enabled and disabled" v)
+    | _ ->
+        node := Ast.with_variant v enabled !node;
+        Ok ()
+  in
+  let rec loop () =
+    match peek st with
+    | Some Lexer.At ->
+        advance st;
+        let* vl = parse_version_list st in
+        let* () = set_versions vl in
+        loop ()
+    | Some Lexer.Plus ->
+        advance st;
+        let* v = expect_id st "variant name" in
+        let* () = set_variant v true in
+        loop ()
+    | Some Lexer.Minus | Some Lexer.Tilde ->
+        advance st;
+        let* v = expect_id st "variant name" in
+        let* () = set_variant v false in
+        loop ()
+    | Some Lexer.Percent ->
+        advance st;
+        let* cname = expect_id st "compiler name" in
+        let* cversions =
+          match peek st with
+          | Some Lexer.At ->
+              advance st;
+              parse_version_list st
+          | _ -> Ok Vlist.any
+        in
+        let req = { Ast.c_name = cname; c_versions = cversions } in
+        let merged =
+          Constraint_ops.intersect_compiler_reqs !node.Ast.compiler (Some req)
+        in
+        (match merged with
+        | Ok c ->
+            node := Ast.with_compiler c !node;
+            loop ()
+        | Error msg -> fail st msg)
+    | Some Lexer.Equals ->
+        advance st;
+        let* arch = expect_id st "architecture name" in
+        (match !node.Ast.arch with
+        | Some a when a <> arch ->
+            fail st
+              (Printf.sprintf "conflicting architectures: =%s vs =%s" a arch)
+        | _ ->
+            node := Ast.with_arch (Some arch) !node;
+            loop ())
+    | _ -> Ok !node
+  in
+  loop ()
+
+let parse_spec st =
+  let* root = parse_one_node st ~require_name:false in
+  let rec deps acc =
+    match peek st with
+    | None -> Ok acc
+    | Some Lexer.Caret -> (
+        advance st;
+        let* dep = parse_one_node st ~require_name:true in
+        match Smap.find_opt dep.Ast.name acc with
+        | None -> deps (Smap.add dep.Ast.name dep acc)
+        | Some existing -> (
+            match Constraint_ops.intersect_node existing dep with
+            | Ok merged -> deps (Smap.add dep.Ast.name merged acc)
+            | Error c -> fail st (Constraint_ops.conflict_to_string c)))
+    | Some t ->
+        fail st
+          (Printf.sprintf "unexpected %s (missing '^'?)"
+             (Lexer.token_to_string t))
+  in
+  let* deps = deps Smap.empty in
+  Ok { Ast.root; deps }
+
+let run src parse_fn =
+  match Lexer.tokenize src with
+  | Error e -> Error (Printf.sprintf "parse error in %S: %s" src e)
+  | Ok [] -> Error (Printf.sprintf "parse error in %S: empty spec" src)
+  | Ok toks -> parse_fn { toks; src }
+
+let parse src = run src parse_spec
+
+let parse_exn src =
+  match parse src with Ok t -> t | Error e -> invalid_arg e
+
+let parse_node src =
+  run src (fun st ->
+      let* node = parse_one_node st ~require_name:false in
+      match peek st with
+      | None -> Ok node
+      | Some t ->
+          fail st
+            (Printf.sprintf "unexpected %s in single-package spec"
+               (Lexer.token_to_string t)))

@@ -1,0 +1,19 @@
+(** Recursive-descent parser for the spec grammar (paper Fig. 3).
+
+    Dependency constraints introduced by [^] attach to a flat,
+    name-keyed constraint set regardless of where they appear — the paper's
+    "dependency constraints can appear in an arbitrary order" (§3.2.3).
+    A spec may be anonymous (start directly with a constraint), which is
+    how [when='%gcc@5:'] predicates are written (§3.2.4). Repeated
+    constraints on one package intersect; an unsatisfiable repetition
+    (e.g. [@1.2 @2.0]) is a parse-time conflict error. *)
+
+val parse : string -> (Ast.t, string) result
+(** Parse a spec string. *)
+
+val parse_exn : string -> Ast.t
+(** Raises [Invalid_argument] with the parse error message. *)
+
+val parse_node : string -> (Ast.node, string) result
+(** Parse a spec that must not contain [^] dependency constraints —
+    used for directive arguments that name a single package. *)

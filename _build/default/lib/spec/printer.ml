@@ -1,0 +1,40 @@
+module Smap = Ast.Smap
+module Vlist = Ospack_version.Vlist
+
+let node_to_string (n : Ast.node) =
+  let buf = Buffer.create 32 in
+  Buffer.add_string buf n.name;
+  if not (Vlist.is_any n.versions) then begin
+    Buffer.add_char buf '@';
+    Buffer.add_string buf (Vlist.to_string n.versions)
+  end;
+  (match n.compiler with
+  | None -> ()
+  | Some c ->
+      Buffer.add_char buf '%';
+      Buffer.add_string buf c.c_name;
+      if not (Vlist.is_any c.c_versions) then begin
+        Buffer.add_char buf '@';
+        Buffer.add_string buf (Vlist.to_string c.c_versions)
+      end);
+  Smap.iter
+    (fun v enabled ->
+      Buffer.add_char buf (if enabled then '+' else '~');
+      Buffer.add_string buf v)
+    n.variants;
+  (match n.arch with
+  | None -> ()
+  | Some a ->
+      Buffer.add_char buf '=';
+      Buffer.add_string buf a);
+  Buffer.contents buf
+
+let to_string (t : Ast.t) =
+  let deps =
+    Smap.bindings t.deps
+    |> List.map (fun (_, n) -> " ^" ^ node_to_string n)
+  in
+  node_to_string t.root ^ String.concat "" deps
+
+let pp_node fmt n = Format.pp_print_string fmt (node_to_string n)
+let pp fmt t = Format.pp_print_string fmt (to_string t)

@@ -1,0 +1,16 @@
+(** Rendering of abstract specs back to the command-line syntax.
+
+    Printing and {!Parser.parse} round-trip: parsing a rendered spec yields
+    an equal [Ast.t]. Disabled variants render with [~] (attached form) so
+    that re-parsing never glues a [-variant] onto a preceding identifier. *)
+
+val node_to_string : Ast.node -> string
+(** One node: [name@versions%compiler@cvers+var~var=arch]. Unconstrained
+    parameters are omitted; an anonymous unconstrained node renders as
+    [""]. *)
+
+val to_string : Ast.t -> string
+(** Full spec with [ ^dep] constraints, dependencies sorted by name. *)
+
+val pp_node : Format.formatter -> Ast.node -> unit
+val pp : Format.formatter -> Ast.t -> unit

@@ -1,0 +1,1 @@
+lib/store/buildcache.ml: Buffer Database Filename List Option Ospack_json Ospack_spec Ospack_vfs Printf Result String

@@ -1,0 +1,1 @@
+lib/store/buildcache.mli: Database Ospack_spec Ospack_vfs

@@ -1,0 +1,1 @@
+lib/store/database.ml: Hashtbl List Option Ospack_json Ospack_spec Printf Result String

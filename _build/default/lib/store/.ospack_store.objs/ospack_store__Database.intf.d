@@ -1,0 +1,1 @@
+lib/store/database.mli: Ospack_json Ospack_spec

@@ -1,0 +1,1 @@
+lib/store/installer.ml: Buildcache Database List Option Ospack_buildsim Ospack_config Ospack_json Ospack_layout Ospack_package Ospack_spec Ospack_vfs Printf Provenance Result

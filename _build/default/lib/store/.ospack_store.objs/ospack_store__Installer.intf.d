@@ -1,0 +1,1 @@
+lib/store/installer.mli: Buildcache Database Ospack_buildsim Ospack_config Ospack_layout Ospack_package Ospack_spec Ospack_vfs

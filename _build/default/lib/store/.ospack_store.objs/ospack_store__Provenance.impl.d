@@ -1,0 +1,1 @@
+lib/store/provenance.ml: List Option Ospack_hash Ospack_json Ospack_spec Ospack_vfs Printf String

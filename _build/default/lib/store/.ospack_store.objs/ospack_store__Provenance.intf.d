@@ -1,0 +1,1 @@
+lib/store/provenance.mli: Ospack_spec Ospack_vfs

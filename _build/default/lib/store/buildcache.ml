@@ -1,0 +1,146 @@
+module Vfs = Ospack_vfs.Vfs
+module Concrete = Ospack_spec.Concrete
+module Json = Ospack_json.Json
+
+type t = { vfs : Vfs.t; root : string }
+
+let create vfs ~root = { vfs; root }
+
+let entry_path t hash = Printf.sprintf "%s/%s.json" t.root hash
+
+let has t ~hash = Vfs.is_file t.vfs (entry_path t hash)
+
+let cached_hashes t =
+  match Vfs.ls t.vfs t.root with
+  | Error _ -> []
+  | Ok entries ->
+      List.filter_map
+        (fun e ->
+          if Filename.check_suffix e ".json" then
+            Some (Filename.chop_suffix e ".json")
+          else None)
+        entries
+      |> List.sort String.compare
+
+let ( let* ) = Result.bind
+
+let save t ~install_root (record : Database.record) =
+  if has t ~hash:record.Database.r_hash then Ok ()
+  else
+    let prefix = record.Database.r_prefix in
+    let files =
+      Vfs.walk t.vfs prefix
+      |> List.filter_map (fun (path, kind) ->
+             let plen = String.length prefix + 1 in
+             let rel = String.sub path plen (String.length path - plen) in
+             match kind with
+             | Vfs.Dir -> None
+             | Vfs.File -> (
+                 match Vfs.read_file t.vfs path with
+                 | Ok content ->
+                     Some
+                       (Json.Obj
+                          [
+                            ("rel", Json.String rel);
+                            ("kind", Json.String "file");
+                            ("content", Json.String content);
+                          ])
+                 | Error _ -> None)
+             | Vfs.Symlink -> (
+                 match Vfs.readlink t.vfs path with
+                 | Ok target ->
+                     Some
+                       (Json.Obj
+                          [
+                            ("rel", Json.String rel);
+                            ("kind", Json.String "link");
+                            ("content", Json.String target);
+                          ])
+                 | Error _ -> None))
+    in
+    let entry =
+      Json.Obj
+        [
+          ("format", Json.Int 1);
+          ("install_root", Json.String install_root);
+          ("prefix", Json.String prefix);
+          ("spec", Concrete.to_json record.Database.r_spec);
+          ("files", Json.List files);
+        ]
+    in
+    Result.map_error Vfs.error_to_string
+      (Vfs.write_file t.vfs
+         (entry_path t record.Database.r_hash)
+         (Json.to_string entry))
+
+(* textual relocation: every embedded occurrence of the cached install
+   root becomes the target root *)
+let relocate ~from_root ~to_root text =
+  if from_root = to_root then text
+  else begin
+    let buf = Buffer.create (String.length text) in
+    let flen = String.length from_root in
+    let n = String.length text in
+    let rec go i =
+      if i >= n then ()
+      else if
+        i + flen <= n && String.sub text i flen = from_root
+      then begin
+        Buffer.add_string buf to_root;
+        go (i + flen)
+      end
+      else begin
+        Buffer.add_char buf text.[i];
+        go (i + 1)
+      end
+    in
+    go 0;
+    Buffer.contents buf
+  end
+
+let extract t ~hash ~install_root ~prefix =
+  let* content =
+    Result.map_error Vfs.error_to_string
+      (Vfs.read_file t.vfs (entry_path t hash))
+  in
+  let* entry = Json.of_string content in
+  let* from_root =
+    match Option.bind (Json.member "install_root" entry) Json.get_string with
+    | Some r -> Ok r
+    | None -> Error "buildcache: entry missing install_root"
+  in
+  let* spec =
+    match Json.member "spec" entry with
+    | Some sj -> Concrete.of_json sj
+    | None -> Error "buildcache: entry missing spec"
+  in
+  let* files =
+    match Option.bind (Json.member "files" entry) Json.to_list with
+    | Some items -> Ok items
+    | None -> Error "buildcache: entry missing files"
+  in
+  let reloc = relocate ~from_root ~to_root:install_root in
+  List.fold_left
+    (fun acc item ->
+      let* () = acc in
+      let get key =
+        match Option.bind (Json.member key item) Json.get_string with
+        | Some v -> Ok v
+        | None -> Error "buildcache: malformed file entry"
+      in
+      let* rel = get "rel" in
+      let* kind = get "kind" in
+      let* content = get "content" in
+      let dest = prefix ^ "/" ^ rel in
+      match kind with
+      | "file" ->
+          Result.map_error Vfs.error_to_string
+            (Vfs.write_file t.vfs dest (reloc content))
+      | "link" -> (
+          match Vfs.symlink t.vfs ~target:(reloc content) ~link:dest with
+          | Ok () -> Ok ()
+          | Error (Vfs.Already_exists _) -> Ok () (* re-extract *)
+          | Error e -> Error (Vfs.error_to_string e))
+      | other -> Error ("buildcache: unknown entry kind " ^ other))
+    (Ok ()) files
+  |> Result.map (fun () -> spec)

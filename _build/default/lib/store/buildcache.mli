@@ -1,0 +1,39 @@
+(** A binary build cache: installed trees archived by DAG hash, with
+    prefix relocation on extraction.
+
+    The paper contrasts Spack's from-source model with binary package
+    managers (§2); real Spack later grew exactly this mechanism
+    ([spack buildcache]). A cache entry stores the full concrete spec, the
+    install root it was built under, and every file of the prefix. Pulling
+    into a store with a {e different} install root rewrites embedded
+    absolute paths (RPATHs in binaries, path-index files, symlink targets)
+    from the old root to the new one — binary relocation, the classic
+    obstacle to sharing HPC binaries. *)
+
+type t
+
+val create : Ospack_vfs.Vfs.t -> root:string -> t
+(** A cache living under [root] on the given filesystem (shared caches use
+    a shared filesystem). *)
+
+val save :
+  t ->
+  install_root:string ->
+  Database.record ->
+  (unit, string) result
+(** Archive an installed record's prefix (idempotent per hash). *)
+
+val has : t -> hash:string -> bool
+
+val cached_hashes : t -> string list
+(** Sorted hashes present in the cache. *)
+
+val extract :
+  t ->
+  hash:string ->
+  install_root:string ->
+  prefix:string ->
+  (Ospack_spec.Concrete.t, string) result
+(** Materialize a cached build into [prefix], relocating every embedded
+    occurrence of the cached install root to [install_root]. Returns the
+    stored concrete spec. *)

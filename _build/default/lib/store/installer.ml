@@ -1,0 +1,245 @@
+module Vfs = Ospack_vfs.Vfs
+module Concrete = Ospack_spec.Concrete
+module Repository = Ospack_package.Repository
+module Package = Ospack_package.Package
+module Fsmodel = Ospack_buildsim.Fsmodel
+module Builder = Ospack_buildsim.Builder
+module Layout = Ospack_layout.Layout
+module Policy = Ospack_config.Policy
+module Config = Ospack_config.Config
+module Binary = Ospack_buildsim.Binary
+
+type t = {
+  vfs : Vfs.t;
+  fs : Fsmodel.t;
+  scheme : Layout.scheme;
+  install_root : string;
+  stage_root : string;
+  use_wrappers : bool;
+  config : Config.t;
+  cache : Buildcache.t option;
+  mirror : Ospack_buildsim.Mirror.t option;
+  repo : Repository.t;
+  compilers : Ospack_config.Compilers.t;
+  db : Database.t;
+  mutable total_seconds : float;
+}
+
+type outcome = {
+  o_record : Database.record;
+  o_reused : bool;
+  o_cached : bool;
+}
+
+let create ?(fs = Fsmodel.tmpfs) ?(scheme = Layout.Spack_default)
+    ?(install_root = "/ospack/opt") ?(stage_root = "/ospack/stage")
+    ?(use_wrappers = true) ?(config = Config.empty) ?cache ?mirror ~vfs ~repo
+    ~compilers () =
+  {
+    vfs;
+    fs;
+    scheme;
+    install_root;
+    stage_root;
+    use_wrappers;
+    config;
+    cache;
+    mirror;
+    repo;
+    compilers;
+    db = Database.create ();
+    total_seconds = 0.0;
+  }
+
+let index_path t = t.install_root ^ "/.spack-db/index.json"
+
+let save_index t =
+  let content =
+    Ospack_json.Json.to_string ~indent:2 (Database.to_json t.db) ^ "\n"
+  in
+  match Vfs.write_file t.vfs (index_path t) content with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Installer: index: " ^ Vfs.error_to_string e)
+
+let load_index t =
+  match Vfs.read_file t.vfs (index_path t) with
+  | Error (Vfs.Not_found _) -> Ok 0
+  | Error e -> Error (Vfs.error_to_string e)
+  | Ok content -> (
+      match Ospack_json.Json.of_string content with
+      | Error e -> Error ("db index: " ^ e)
+      | Ok j -> (
+          match Database.of_json j with
+          | Error e -> Error e
+          | Ok loaded ->
+              let records = Database.all loaded in
+              List.iter (Database.add t.db) records;
+              Ok (List.length records)))
+
+let database t = t.db
+let vfs t = t.vfs
+let install_root t = t.install_root
+
+let prefix_of t spec name =
+  Layout.node_path t.scheme ~root:t.install_root spec name
+
+let ( let* ) = Result.bind
+
+(* Populate a vendor prefix with minimal self-contained artifacts so that
+   dependents' RPATH resolution works against it. Idempotent. *)
+let ensure_external_artifacts t name prefix =
+  let lib = Builder.installed_library ~prefix ~package:name in
+  if not (Vfs.is_file t.vfs lib) then begin
+    let write path content =
+      match Vfs.write_file t.vfs path content with
+      | Ok () -> ()
+      | Error e ->
+          invalid_arg ("Installer: external prefix: " ^ Vfs.error_to_string e)
+    in
+    write lib
+      (Binary.serialize
+         (Binary.make ~kind:Binary.Lib
+            ~soname:(Binary.soname_for_package name)
+            ~needed:[] ~rpaths:[]));
+    write
+      (Builder.installed_executable ~prefix ~package:name)
+      (Binary.serialize
+         (Binary.make ~kind:Binary.Exe ~soname:name
+            ~needed:[ Binary.soname_for_package name ]
+            ~rpaths:[ prefix ^ "/lib" ]));
+    write (prefix ^ "/include/" ^ name ^ ".h") ("/* vendor " ^ name ^ " */")
+  end
+
+let external_record t sub name ~explicit =
+  match Policy.external_for t.config ~package:name with
+  | Some (ext_spec, prefix) when Concrete.satisfies sub ext_spec ->
+      ensure_external_artifacts t name prefix;
+      Some
+        {
+          Database.r_spec = sub;
+          r_hash = Concrete.root_hash sub;
+          r_prefix = prefix;
+          r_explicit = explicit;
+          r_external = true;
+          r_build_seconds = 0.0;
+        }
+  | _ -> None
+
+let install_node t spec name ~explicit =
+  let sub = Concrete.subspec spec name in
+  let hash = Concrete.root_hash sub in
+  match Database.find_by_hash t.db hash with
+  | Some record ->
+      if explicit && not record.Database.r_explicit then
+        Database.add t.db { record with Database.r_explicit = true };
+      Ok
+        {
+          o_record =
+            { record with
+              Database.r_explicit = explicit || record.Database.r_explicit };
+          o_reused = true;
+          o_cached = false;
+        }
+  | None ->
+  match external_record t sub name ~explicit with
+  | Some record ->
+      Database.add t.db record;
+      Ok { o_record = record; o_reused = false; o_cached = false }
+  | None ->
+  (* binary cache: extract instead of building, relocating prefixes *)
+  match t.cache with
+  | Some cache when Buildcache.has cache ~hash -> (
+      let prefix = prefix_of t spec name in
+      match
+        Buildcache.extract cache ~hash ~install_root:t.install_root ~prefix
+      with
+      | Error e -> Error (Printf.sprintf "buildcache %s: %s" name e)
+      | Ok _stored_spec ->
+          (* relocation rewrote file contents, so re-manifest the prefix *)
+          Provenance.write_manifest t.vfs ~prefix;
+          let record =
+            {
+              Database.r_spec = sub;
+              r_hash = hash;
+              r_prefix = prefix;
+              r_explicit = explicit;
+              r_external = false;
+              r_build_seconds = 0.0;
+            }
+          in
+          Database.add t.db record;
+          Ok { o_record = record; o_reused = false; o_cached = true })
+  | _ ->
+      let* pkg =
+        match Repository.find t.repo name with
+        | Some p -> Ok p
+        | None -> Error (Printf.sprintf "no package definition for %s" name)
+      in
+      let prefix = prefix_of t spec name in
+      let dep_prefix dep =
+        let dep_hash = Concrete.dag_hash sub dep in
+        Option.map
+          (fun r -> r.Database.r_prefix)
+          (Database.find_by_hash t.db dep_hash)
+      in
+      let* result =
+        Builder.build ~vfs:t.vfs ~fs:t.fs ~compilers:t.compilers
+          ~use_wrappers:t.use_wrappers ~mirror:t.mirror
+          ~stage_root:t.stage_root ~spec:sub ~node:name ~pkg ~prefix
+          ~dep_prefix
+      in
+      Provenance.write t.vfs ~prefix ~spec:sub
+        ~package_source:pkg.Package.p_source ~log:result.Builder.br_log;
+      Provenance.write_manifest t.vfs ~prefix;
+      let record =
+        {
+          Database.r_spec = sub;
+          r_hash = hash;
+          r_prefix = prefix;
+          r_explicit = explicit;
+          r_external = false;
+          r_build_seconds = result.Builder.br_time;
+        }
+      in
+      Database.add t.db record;
+      t.total_seconds <- t.total_seconds +. result.Builder.br_time;
+      Ok { o_record = record; o_reused = false; o_cached = false }
+
+let install t ?(explicit = true) spec =
+  let order = Concrete.topological_order spec in
+  let root = Concrete.root spec in
+  let rec go acc = function
+    | [] ->
+        save_index t;
+        Ok (List.rev acc)
+    | name :: rest ->
+        let* outcome =
+          install_node t spec name ~explicit:(explicit && name = root)
+        in
+        go (outcome :: acc) rest
+  in
+  go [] order
+
+let uninstall t ~hash =
+  let* record = Database.remove t.db hash in
+  (* vendor prefixes are not ours to delete *)
+  if not record.Database.r_external then (
+    match Vfs.remove t.vfs ~recursive:true record.Database.r_prefix with
+    | Ok () | Error (Vfs.Not_found _) -> ()
+    | Error e -> invalid_arg ("Installer.uninstall: " ^ Vfs.error_to_string e));
+  save_index t;
+  Ok record
+
+let total_build_seconds t = t.total_seconds
+
+let push_to_cache t cache =
+  let rec go pushed = function
+    | [] -> Ok pushed
+    | (r : Database.record) :: rest ->
+        if r.Database.r_external then go pushed rest
+        else (
+          match Buildcache.save cache ~install_root:t.install_root r with
+          | Ok () -> go (pushed + 1) rest
+          | Error e -> Error e)
+  in
+  go 0 (Database.all t.db)

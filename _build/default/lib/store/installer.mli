@@ -1,0 +1,79 @@
+(** The installer: bottom-up DAG traversal, reuse, and provenance
+    (paper §3.4: "At install time, Spack constructs a package object for
+    each node in the spec DAG and traverses the DAG in a bottom-up
+    fashion").
+
+    Installation of a concrete spec builds each node whose sub-DAG hash is
+    not yet in the database, dependencies first, into its unique prefix
+    (Spack-default layout by default). Nodes whose hash already exists are
+    reused — that is the sub-DAG sharing of Fig. 9 — and reported as such. *)
+
+type t
+
+type outcome = {
+  o_record : Database.record;
+  o_reused : bool;  (** true when the hash was already installed *)
+  o_cached : bool;  (** true when extracted from the binary cache *)
+}
+
+val create :
+  ?fs:Ospack_buildsim.Fsmodel.t ->
+  ?scheme:Ospack_layout.Layout.scheme ->
+  ?install_root:string ->
+  ?stage_root:string ->
+  ?use_wrappers:bool ->
+  ?config:Ospack_config.Config.t ->
+  ?cache:Buildcache.t ->
+  ?mirror:Ospack_buildsim.Mirror.t ->
+  vfs:Ospack_vfs.Vfs.t ->
+  repo:Ospack_package.Repository.t ->
+  compilers:Ospack_config.Compilers.t ->
+  unit ->
+  t
+(** Defaults: tmpfs stage, Spack-default layout under ["/ospack/opt"],
+    stage under ["/ospack/stage"], wrappers enabled, empty configuration.
+    [config] supplies [externals.*] declarations (§4.4): when a node to be
+    installed satisfies a declared external spec, its vendor prefix is
+    registered instead of building (the prefix is populated with vendor
+    artifacts on first use so downstream links resolve). [cache] enables
+    pulls from a binary build cache: nodes whose hash is cached are
+    extracted (with prefix relocation) instead of built. [mirror] makes
+    every build stage its sources from a checksum-verified mirror archive
+    (a missing or corrupted archive fails the build). *)
+
+val database : t -> Database.t
+val vfs : t -> Ospack_vfs.Vfs.t
+val install_root : t -> string
+
+val prefix_of : t -> Ospack_spec.Concrete.t -> string -> string
+(** The prefix a node of a spec installs into (deterministic, layout-based;
+    does not require the node to be installed). *)
+
+val install :
+  t -> ?explicit:bool -> Ospack_spec.Concrete.t -> (outcome list, string) result
+(** Install a concrete spec: one outcome per DAG node in install
+    (dependencies-first) order. The root's record is marked explicit
+    (unless [~explicit:false]). On a build failure nothing after the
+    failing node is installed. *)
+
+val uninstall : t -> hash:string -> (Database.record, string) result
+(** Remove an installed record and its prefix. Fails (removing nothing)
+    when other installed specs depend on it. *)
+
+val total_build_seconds : t -> float
+(** Sum of simulated build time across everything this installer built. *)
+
+val push_to_cache : t -> Buildcache.t -> (int, string) result
+(** Archive every locally built (non-external) record into a cache;
+    returns how many records the cache now covers from this store. *)
+
+val index_path : t -> string
+(** Path of the on-disk database index
+    ([<install_root>/.spack-db/index.json]), maintained automatically on
+    install and uninstall. *)
+
+val load_index : t -> (int, string) result
+(** Merge the records of the on-disk index into this installer's database
+    — how a fresh process picks up an existing store on the same
+    filesystem. Returns the number of records loaded ([Ok 0] when no index
+    exists yet). *)

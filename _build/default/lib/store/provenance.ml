@@ -1,0 +1,127 @@
+module Vfs = Ospack_vfs.Vfs
+module Concrete = Ospack_spec.Concrete
+
+let dir = ".spack"
+
+let must = function
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Provenance.write: " ^ Vfs.error_to_string e)
+
+let write vfs ~prefix ~spec ~package_source ~log =
+  let base = prefix ^ "/" ^ dir in
+  must (Vfs.write_file vfs (base ^ "/spec") (Concrete.to_string spec ^ "\n"));
+  must
+    (Vfs.write_file vfs (base ^ "/spec.json")
+       (Ospack_json.Json.to_string ~indent:2 (Concrete.to_json spec) ^ "\n"));
+  must
+    (Vfs.write_file vfs (base ^ "/build.log")
+       (String.concat "\n" log ^ "\n"));
+  must (Vfs.write_file vfs (base ^ "/package.source") (package_source ^ "\n"))
+
+let read_line vfs path =
+  match Vfs.read_file vfs path with
+  | Ok content -> Some (String.trim content)
+  | Error _ -> None
+
+let read_spec vfs ~prefix = read_line vfs (prefix ^ "/" ^ dir ^ "/spec")
+
+let read_spec_json vfs ~prefix =
+  match Vfs.read_file vfs (prefix ^ "/" ^ dir ^ "/spec.json") with
+  | Error e -> Error (Vfs.error_to_string e)
+  | Ok content -> (
+      match Ospack_json.Json.of_string content with
+      | Error e -> Error ("spec.json: " ^ e)
+      | Ok j -> Concrete.of_json j)
+
+let read_log vfs ~prefix =
+  match Vfs.read_file vfs (prefix ^ "/" ^ dir ^ "/build.log") with
+  | Ok content ->
+      Some (String.split_on_char '\n' content |> List.filter (fun l -> l <> ""))
+  | Error _ -> None
+
+let read_package_source vfs ~prefix =
+  read_line vfs (prefix ^ "/" ^ dir ^ "/package.source")
+
+(* ------------------------------------------------------------------ *)
+(* install manifests                                                   *)
+
+module Json = Ospack_json.Json
+module Md5 = Ospack_hash.Md5
+
+type verify_report = {
+  vr_missing : string list;
+  vr_modified : string list;
+  vr_extra : string list;
+}
+
+let report_clean r =
+  r.vr_missing = [] && r.vr_modified = [] && r.vr_extra = []
+
+let manifest_path prefix = prefix ^ "/" ^ dir ^ "/manifest.json"
+
+(* payload = every regular file and symlink outside .spack/; symlinks are
+   hashed by target so retargeting is detected *)
+let payload vfs prefix =
+  Vfs.walk vfs prefix
+  |> List.filter_map (fun (path, kind) ->
+         let plen = String.length prefix + 1 in
+         let rel = String.sub path plen (String.length path - plen) in
+         if String.length rel >= String.length dir
+            && String.sub rel 0 (String.length dir) = dir
+         then None
+         else
+           match kind with
+           | Vfs.Dir -> None
+           | Vfs.File -> (
+               match Vfs.read_file vfs path with
+               | Ok content -> Some (rel, Md5.hex_digest content)
+               | Error _ -> None)
+           | Vfs.Symlink -> (
+               match Vfs.readlink vfs path with
+               | Ok target -> Some (rel, Md5.hex_digest ("link:" ^ target))
+               | Error _ -> None))
+
+let write_manifest vfs ~prefix =
+  let entries =
+    List.map (fun (rel, md5) -> (rel, Json.String md5)) (payload vfs prefix)
+  in
+  must
+    (Vfs.write_file vfs (manifest_path prefix)
+       (Json.to_string ~indent:2 (Json.Obj entries) ^ "\n"))
+
+let verify_manifest vfs ~prefix =
+  match Vfs.read_file vfs (manifest_path prefix) with
+  | Error _ -> Error (Printf.sprintf "no manifest under %s" prefix)
+  | Ok content -> (
+      match Json.of_string content with
+      | Error e -> Error ("manifest: " ^ e)
+      | Ok (Json.Obj fields) ->
+          let manifested =
+            List.filter_map
+              (fun (rel, v) ->
+                Option.map (fun md5 -> (rel, md5)) (Json.get_string v))
+              fields
+          in
+          let current = payload vfs prefix in
+          let missing, modified =
+            List.fold_left
+              (fun (missing, modified) (rel, md5) ->
+                match List.assoc_opt rel current with
+                | None -> (rel :: missing, modified)
+                | Some now when now <> md5 -> (missing, rel :: modified)
+                | Some _ -> (missing, modified))
+              ([], []) manifested
+          in
+          let extra =
+            List.filter_map
+              (fun (rel, _) ->
+                if List.mem_assoc rel manifested then None else Some rel)
+              current
+          in
+          Ok
+            {
+              vr_missing = List.rev missing;
+              vr_modified = List.rev modified;
+              vr_extra = extra;
+            }
+      | Ok _ -> Error "manifest: expected an object")

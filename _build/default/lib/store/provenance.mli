@@ -1,0 +1,58 @@
+(** Build provenance (paper §3.4.3).
+
+    For reproducibility, Spack stores in each installation: the package
+    file that built it, a build log, and the complete concrete spec. The
+    spec file "can be used later to reproduce the build, even if
+    concretization preferences have changed" — {!read_spec} returns the
+    stored one-line concrete spec for exactly that purpose. *)
+
+val dir : string
+(** Name of the provenance directory inside a prefix ([".spack"]). *)
+
+val write :
+  Ospack_vfs.Vfs.t ->
+  prefix:string ->
+  spec:Ospack_spec.Concrete.t ->
+  package_source:string ->
+  log:string list ->
+  unit
+(** Write [<prefix>/.spack/spec] (one-line form), [<prefix>/.spack/spec.json]
+    (the full structured DAG), [<prefix>/.spack/build.log] and
+    [<prefix>/.spack/package.source]. Raises [Invalid_argument] on VFS
+    errors (the prefix must exist). *)
+
+val read_spec : Ospack_vfs.Vfs.t -> prefix:string -> string option
+(** The stored concrete spec line, if present. *)
+
+val read_spec_json :
+  Ospack_vfs.Vfs.t -> prefix:string -> (Ospack_spec.Concrete.t, string) result
+(** The stored structured spec, exactly as installed — restores the DAG
+    without re-concretizing, so the result is immune to package-file and
+    preference drift (§3.4.3: "even if concretization preferences have
+    changed"). *)
+
+val read_log : Ospack_vfs.Vfs.t -> prefix:string -> string list option
+val read_package_source : Ospack_vfs.Vfs.t -> prefix:string -> string option
+
+(** {1 Install manifests}
+
+    Every install records an MD5 manifest of its payload files (everything
+    outside [.spack/]); {!verify_manifest} re-hashes the tree and reports
+    drift — the integrity check behind [spack verify]. *)
+
+type verify_report = {
+  vr_missing : string list;  (** manifested files no longer present *)
+  vr_modified : string list;  (** files whose content hash changed *)
+  vr_extra : string list;  (** unmanifested files that appeared *)
+}
+
+val report_clean : verify_report -> bool
+
+val write_manifest : Ospack_vfs.Vfs.t -> prefix:string -> unit
+(** Hash every payload file of the prefix into
+    [<prefix>/.spack/manifest.json]. *)
+
+val verify_manifest :
+  Ospack_vfs.Vfs.t -> prefix:string -> (verify_report, string) result
+(** Compare the tree against the stored manifest. Errors when no manifest
+    exists (e.g. external vendor prefixes). *)

@@ -1,0 +1,1 @@
+lib/version/version.ml: Format Int List Printf String

@@ -1,0 +1,1 @@
+lib/version/vlist.ml: Format Int List String Version Vrange

@@ -1,0 +1,1 @@
+lib/version/vlist.mli: Format Version Vrange

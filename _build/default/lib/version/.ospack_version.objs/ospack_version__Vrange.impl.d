@@ -1,0 +1,1 @@
+lib/version/vrange.ml: Format Version

@@ -1,0 +1,1 @@
+lib/version/vrange.mli: Format Version

@@ -1,0 +1,80 @@
+type component = Num of int | Alpha of string
+
+type t = component list
+
+let is_digit c = c >= '0' && c <= '9'
+let is_alpha c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+
+let of_string_opt s =
+  let n = String.length s in
+  let rec scan i acc =
+    if i >= n then Some (List.rev acc)
+    else
+      let c = s.[i] in
+      if is_digit c then begin
+        let j = ref i in
+        while !j < n && is_digit s.[!j] do
+          incr j
+        done;
+        scan !j (Num (int_of_string (String.sub s i (!j - i))) :: acc)
+      end
+      else if is_alpha c then begin
+        let j = ref i in
+        while !j < n && is_alpha s.[!j] do
+          incr j
+        done;
+        scan !j (Alpha (String.sub s i (!j - i)) :: acc)
+      end
+      else if c = '.' || c = '-' || c = '_' then scan (i + 1) acc
+      else None
+  in
+  match scan 0 [] with
+  | Some [] | None -> None
+  | Some cs -> Some cs
+
+let of_string s =
+  match of_string_opt s with
+  | Some v -> v
+  | None -> invalid_arg (Printf.sprintf "Version.of_string: %S" s)
+
+let components v = v
+
+let to_string v =
+  String.concat "."
+    (List.map
+       (function Num i -> string_of_int i | Alpha a -> a)
+       v)
+
+let compare_component a b =
+  match (a, b) with
+  | Num x, Num y -> Int.compare x y
+  | Alpha x, Alpha y -> String.compare x y
+  | Num _, Alpha _ -> 1 (* numeric is newer at a mixed position *)
+  | Alpha _, Num _ -> -1
+
+let rec compare a b =
+  match (a, b) with
+  | [], [] -> 0
+  | [], _ -> -1 (* prefix is older *)
+  | _, [] -> 1
+  | x :: a', y :: b' ->
+      let c = compare_component x y in
+      if c <> 0 then c else compare a' b'
+
+let equal a b = compare a b = 0
+
+let rec is_prefix p v =
+  match (p, v) with
+  | [], _ -> true
+  | _, [] -> false
+  | x :: p', y :: v' -> compare_component x y = 0 && is_prefix p' v'
+
+let up_to n v =
+  let n = max 1 n in
+  let rec take k = function
+    | [] -> []
+    | x :: rest -> if k = 0 then [] else x :: take (k - 1) rest
+  in
+  take n v
+
+let pp fmt v = Format.pp_print_string fmt (to_string v)

@@ -1,0 +1,52 @@
+(** Package versions with Spack's comparison and satisfaction semantics
+    (paper §3.2.3).
+
+    A version is a dotted sequence of components; each component is numeric
+    ([2], [10]) or alphabetic ([a], [rc1] splits into [rc] and [1]).
+    Separators ([.], [-], [_]) and digit/letter boundaries both split
+    components, so ["1.2-rc1"] and ["1.2rc.1"] parse to the same component
+    list [1; 2; rc; 1].
+
+    Ordering is componentwise: numeric components compare numerically,
+    alphabetic ones lexicographically, and at mixed positions the numeric
+    component is the newer one (["1.2"] > ["1.2alpha"], matching intuition
+    that suffixed releases precede the plain release at the next position —
+    but note ["1.2.1"] > ["1.2"] > ["1.2alpha"]). A version that is a strict
+    prefix of another is older (["1.2"] < ["1.2.1"]).
+
+    Satisfaction is prefix-based, as in Spack: ["1.2.3"] satisfies the
+    constraint [@1.2] because [1.2] is a component prefix of [1.2.3]. *)
+
+type component = Num of int | Alpha of string
+
+type t
+(** A parsed version. The empty version is not representable;
+    {!of_string} rejects empty input. *)
+
+val of_string : string -> t
+(** Parse a version. Raises [Invalid_argument] on the empty string or a
+    string with no alphanumeric content. *)
+
+val of_string_opt : string -> t option
+
+val to_string : t -> string
+(** Render the version in canonical dotted form. Round-trips through
+    {!of_string} up to separator normalization. *)
+
+val components : t -> component list
+
+val compare : t -> t -> int
+(** Total order described above. *)
+
+val equal : t -> t -> bool
+
+val is_prefix : t -> t -> bool
+(** [is_prefix p v] is true when the components of [p] form a prefix of the
+    components of [v]. This is Spack's "version satisfies" relation:
+    [v] satisfies the point constraint [@p] iff [is_prefix p v]. *)
+
+val up_to : int -> t -> t
+(** [up_to n v] keeps the first [n] components (for layout schemes that use
+    e.g. major.minor only). Keeps at least one component. *)
+
+val pp : Format.formatter -> t -> unit

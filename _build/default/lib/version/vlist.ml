@@ -1,0 +1,94 @@
+type t = Vrange.t list
+
+let any = [ Vrange.unbounded ]
+let empty = []
+
+(* Sort by lower bound, then fold left merging overlapping neighbours. *)
+let normalize ranges =
+  let ranges = List.filter (fun r -> not (Vrange.is_empty r)) ranges in
+  let sorted = List.sort Vrange.compare_for_sort ranges in
+  let rec merge = function
+    | a :: b :: rest -> (
+        match Vrange.union_if_overlapping a b with
+        | Some u -> merge (u :: rest)
+        | None -> a :: merge (b :: rest))
+    | short -> short
+  in
+  merge sorted
+
+let of_ranges rs = normalize rs
+let of_version v = [ Vrange.point v ]
+let ranges t = t
+let is_empty t = t = []
+let is_any t = match t with [ Vrange.Range (None, None) ] -> true | _ -> false
+let mem v t = List.exists (Vrange.mem v) t
+
+let intersect a b =
+  let pairs =
+    List.concat_map (fun ra -> List.filter_map (Vrange.intersect ra) b) a
+  in
+  normalize pairs
+
+let union a b = normalize (a @ b)
+
+let subset a b =
+  List.for_all (fun ra -> List.exists (fun rb -> Vrange.subset ra rb) b) a
+
+let intersects a b = not (is_empty (intersect a b))
+
+let concrete = function [ Vrange.Point v ] -> Some v | _ -> None
+
+let equal a b =
+  List.length a = List.length b
+  && List.for_all2 (fun x y -> Vrange.subset x y && Vrange.subset y x) a b
+
+(* supremum encoded as: 0 = empty, 1 = bounded by a version, 2 = unbounded *)
+let sup t =
+  List.fold_left
+    (fun acc r ->
+      let s =
+        match r with
+        | Vrange.Point v -> (1, Some v)
+        | Vrange.Range (_, None) -> (2, None)
+        | Vrange.Range (_, Some hi) -> (1, Some hi)
+      in
+      match (acc, s) with
+      | (2, _), _ | _, (2, _) -> (2, None)
+      | (0, _), s -> s
+      | (1, Some a), (1, Some b) ->
+          if Version.compare a b >= 0 then (1, Some a) else (1, Some b)
+      | _ -> acc)
+    (0, None) t
+
+let compare_sup a b =
+  match (sup a, sup b) with
+  | (ka, _), (kb, _) when ka <> kb -> Int.compare ka kb
+  | (1, Some va), (1, Some vb) -> Version.compare va vb
+  | _ -> 0
+
+let split_commas s =
+  String.split_on_char ',' s |> List.map String.trim
+  |> List.filter (fun p -> p <> "")
+
+let parse_range body =
+  match String.index_opt body ':' with
+  | None -> Vrange.point (Version.of_string body)
+  | Some i ->
+      let lo = String.sub body 0 i in
+      let hi = String.sub body (i + 1) (String.length body - i - 1) in
+      let parse_end s =
+        if s = "" then None else Some (Version.of_string s)
+      in
+      Vrange.range (parse_end lo) (parse_end hi)
+
+let of_string s =
+  match split_commas s with
+  | [] -> invalid_arg "Vlist.of_string: empty version list"
+  | parts -> normalize (List.map parse_range parts)
+
+let to_string t =
+  match t with
+  | [] -> "<none>"
+  | _ -> String.concat "," (List.map Vrange.to_string t)
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

@@ -1,0 +1,62 @@
+(** Version constraint lists: unions of {!Vrange.t}, as written after [@]
+    in spec syntax (e.g. [@1.2:1.4,1.6:], paper Fig. 3).
+
+    A [Vlist.t] denotes the union of its ranges. The list is kept
+    normalized: ranges sorted by lower bound and overlapping ranges merged.
+    The empty list denotes the empty (unsatisfiable) set; the unconstrained
+    set is {!any}, a single unbounded range. *)
+
+type t
+
+val any : t
+(** Matches every version — the constraint of an unconstrained spec node. *)
+
+val empty : t
+(** The unsatisfiable set (result of a failed intersection). *)
+
+val of_ranges : Vrange.t list -> t
+(** Normalize an arbitrary list of ranges. *)
+
+val of_version : Version.t -> t
+(** The point constraint [@v]. *)
+
+val of_string : string -> t
+(** Parse a comma-separated range list body, e.g. ["1.2:1.4,2.0"].
+    Raises [Invalid_argument] on malformed input. *)
+
+val ranges : t -> Vrange.t list
+
+val is_any : t -> bool
+val is_empty : t -> bool
+
+val mem : Version.t -> t -> bool
+
+val intersect : t -> t -> t
+(** Set intersection; {!empty} when the sets are disjoint. *)
+
+val union : t -> t -> t
+
+val subset : t -> t -> bool
+(** [subset a b] — every version admitted by [a] is admitted by [b].
+    Exact on normalized lists whose ranges are order-convex; ranges with
+    prefix-inclusive upper bounds are handled per {!Vrange.subset}. *)
+
+val intersects : t -> t -> bool
+(** Do the two sets share at least one version? *)
+
+val concrete : t -> Version.t option
+(** [Some v] when the list pins exactly the point constraint [@v]
+    (a single [Point]); [None] otherwise. *)
+
+val equal : t -> t -> bool
+(** Structural equality of normalized lists. *)
+
+val compare_sup : t -> t -> int
+(** Compare by supremum: an upward-unbounded set is greatest, the empty set
+    least, otherwise the highest upper endpoint decides. Used to prefer the
+    provider entry exposing the newest interface version. *)
+
+val to_string : t -> string
+(** Spec-syntax body after [@]; [":"] for {!any}. *)
+
+val pp : Format.formatter -> t -> unit

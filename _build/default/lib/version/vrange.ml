@@ -1,0 +1,118 @@
+type t = Point of Version.t | Range of Version.t option * Version.t option
+
+let point v = Point v
+let range lo hi = Range (lo, hi)
+let unbounded = Range (None, None)
+
+(* Every set is represented canonically as (lo, hi) bounds of a
+   [Range]; [Point p] is (Some p, Some p). *)
+let bounds = function
+  | Point p -> (Some p, Some p)
+  | Range (lo, hi) -> (lo, hi)
+
+let is_empty r =
+  match bounds r with
+  | Some lo, Some hi -> Version.compare lo hi > 0 && not (Version.is_prefix hi lo)
+  | _ -> false
+
+let mem v r =
+  let lo, hi = bounds r in
+  let above =
+    match lo with None -> true | Some lo -> Version.compare v lo >= 0
+  in
+  let below =
+    match hi with
+    | None -> true
+    | Some hi -> Version.compare v hi <= 0 || Version.is_prefix hi v
+  in
+  above && below
+
+(* Lower bounds are plain [>=], so the tighter of two is the greater. *)
+let lo_max a b =
+  match (a, b) with
+  | None, x | x, None -> x
+  | Some a, Some b -> Some (if Version.compare a b >= 0 then a else b)
+
+(* Upper bounds are prefix-inclusive: when one bound is a prefix of the
+   other, the *longer* one denotes the smaller set. *)
+let hi_tighter a b =
+  if Version.is_prefix a b then b
+  else if Version.is_prefix b a then a
+  else if Version.compare a b <= 0 then a
+  else b
+
+let hi_min a b =
+  match (a, b) with
+  | None, x | x, None -> x
+  | Some a, Some b -> Some (hi_tighter a b)
+
+let hi_looser a b =
+  if Version.is_prefix a b then a
+  else if Version.is_prefix b a then b
+  else if Version.compare a b >= 0 then a
+  else b
+
+let normalize (lo, hi) =
+  match (lo, hi) with
+  | Some l, Some h when Version.equal l h -> Point l
+  | lo, hi -> Range (lo, hi)
+
+let intersect a b =
+  let alo, ahi = bounds a and blo, bhi = bounds b in
+  let r = normalize (lo_max alo blo, hi_min ahi bhi) in
+  if is_empty r then None else Some r
+
+let subset a b =
+  let alo, ahi = bounds a and blo, bhi = bounds b in
+  let lo_ok =
+    match (alo, blo) with
+    | _, None -> true
+    | None, Some _ -> false
+    | Some al, Some bl -> Version.compare al bl >= 0
+  in
+  let hi_ok =
+    match (ahi, bhi) with
+    | _, None -> true
+    | None, Some _ -> false
+    | Some ah, Some bh ->
+        if Version.equal ah bh then true
+        else if Version.is_prefix bh ah then true (* a's bound is finer *)
+        else if Version.is_prefix ah bh then false
+        else Version.compare ah bh <= 0
+  in
+  is_empty a || (lo_ok && hi_ok)
+
+let union_if_overlapping a b =
+  match intersect a b with
+  | None -> None
+  | Some _ ->
+      let alo, ahi = bounds a and blo, bhi = bounds b in
+      let lo =
+        match (alo, blo) with
+        | None, _ | _, None -> None
+        | Some a, Some b -> Some (if Version.compare a b <= 0 then a else b)
+      in
+      let hi =
+        match (ahi, bhi) with
+        | None, _ | _, None -> None
+        | Some a, Some b -> Some (hi_looser a b)
+      in
+      Some (normalize (lo, hi))
+
+let compare_for_sort a b =
+  let alo, _ = bounds a and blo, _ = bounds b in
+  match (alo, blo) with
+  | None, None -> 0
+  | None, Some _ -> -1
+  | Some _, None -> 1
+  | Some x, Some y -> Version.compare x y
+
+let to_string = function
+  | Point p -> Version.to_string p
+  | Range (None, None) -> ":"
+  | Range (Some lo, None) -> Version.to_string lo ^ ":"
+  | Range (None, Some hi) -> ":" ^ Version.to_string hi
+  | Range (Some lo, Some hi) ->
+      Version.to_string lo ^ ":" ^ Version.to_string hi
+
+let pp fmt r = Format.pp_print_string fmt (to_string r)

@@ -1,0 +1,46 @@
+(** Version ranges and points, with Spack's inclusive, prefix-aware
+    endpoint semantics (paper §3.2.3, Fig. 3).
+
+    The sets denoted by each form:
+    - [Point p] — every version with [p] as a component prefix, so [@1.2]
+      admits [1.2], [1.2.3], [1.2rc1].
+    - [Range (lo, hi)] — [v >= lo] (when [lo] is given) and [v <= hi] {e or}
+      [hi] is a prefix of [v] (when [hi] is given). The prefix clause makes
+      [@:1.3] admit [1.3.9], as in Spack. [@2.3:] is [Range (Some 2.3, None)].
+
+    [Point p] denotes the same set as [Range (Some p, Some p)]; the
+    constructor is kept distinct so that concrete specs print as [@1.2]
+    rather than [@1.2:1.2] and so concreteness is decidable. *)
+
+type t = Point of Version.t | Range of Version.t option * Version.t option
+
+val point : Version.t -> t
+val range : Version.t option -> Version.t option -> t
+
+val unbounded : t
+(** The full range — matches every version. *)
+
+val is_empty : t -> bool
+(** Only constructed ranges can be empty (e.g. [Range (2.0, 1.0)]). *)
+
+val mem : Version.t -> t -> bool
+
+val intersect : t -> t -> t option
+(** Set intersection. [None] when the result is empty. The result is
+    normalized back to [Point] when it denotes a point set. *)
+
+val union_if_overlapping : t -> t -> t option
+(** [Some r] with [r] the set union when the two sets overlap (share at
+    least one version); [None] when they are disjoint. *)
+
+val subset : t -> t -> bool
+(** [subset a b] — is every version in [a] also in [b]? *)
+
+val compare_for_sort : t -> t -> int
+(** Order by lower bound (unbounded first) for list normalization. *)
+
+val to_string : t -> string
+(** Spec-syntax body, without the [@]: ["1.2"], ["1.2:1.4"], [":4.4"],
+    ["2.5:"], [":"]. *)
+
+val pp : Format.formatter -> t -> unit

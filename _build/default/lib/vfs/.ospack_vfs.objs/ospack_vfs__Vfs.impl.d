@@ -1,0 +1,1 @@
+lib/vfs/vfs.ml: Format Hashtbl List Printf Result String Vpath

@@ -1,0 +1,91 @@
+(** An in-memory filesystem with directories, files, and symbolic links.
+
+    This is the substrate for install trees, views, extension activation,
+    and provenance files. Real Spack manipulates a POSIX filesystem; the
+    virtual one keeps the test suite hermetic and lets the build simulator
+    charge per-operation latency (NFS vs. node-local tmp, paper §3.5.3) via
+    {!counters}.
+
+    All paths are absolute; they are normalized with {!Vpath.normalize}
+    on entry. Symlink targets may be absolute or relative to the link's
+    directory. Lookups follow symlinks in intermediate components;
+    final-component behaviour is documented per function. *)
+
+type t
+
+type kind = File | Dir | Symlink
+
+type error =
+  | Not_found of string
+  | Not_a_directory of string
+  | Is_a_directory of string
+  | Already_exists of string
+  | Symlink_loop of string
+  | Not_a_symlink of string
+
+val pp_error : Format.formatter -> error -> unit
+val error_to_string : error -> string
+
+type counters = {
+  mutable stat : int;  (** path components traversed *)
+  mutable read : int;
+  mutable write : int;
+  mutable mkdir : int;
+  mutable link : int;
+  mutable unlink : int;
+  mutable readdir : int;
+}
+
+val create : unit -> t
+(** An empty filesystem containing only the root directory. *)
+
+val counters : t -> counters
+(** Live operation counters (shared, mutable). *)
+
+val reset_counters : t -> unit
+
+val mkdir_p : t -> string -> (unit, error) result
+(** Create a directory and any missing parents. Succeeds if the directory
+    already exists; fails with [Not_a_directory] if a file is in the way. *)
+
+val write_file : t -> string -> string -> (unit, error) result
+(** Create or overwrite a file, creating parent directories. Fails with
+    [Is_a_directory] when the path names a directory. Follows a final
+    symlink (writes through it). *)
+
+val read_file : t -> string -> (string, error) result
+(** Follows symlinks. *)
+
+val symlink : t -> target:string -> link:string -> (unit, error) result
+(** Create a symbolic link at [link] pointing to [target] (which need not
+    exist). Parent directories are created. Fails with [Already_exists] if
+    anything is already at [link]. *)
+
+val readlink : t -> string -> (string, error) result
+(** The raw target of a symlink (no resolution). *)
+
+val resolve : t -> string -> (string, error) result
+(** Fully resolve a path, following symlinks everywhere, to the canonical
+    path of an existing node. Loop-safe ([Symlink_loop] after 40 hops). *)
+
+val kind_of : t -> string -> kind option
+(** Kind of the node at a path {e without} following a final symlink.
+    [None] when nothing is there. *)
+
+val exists : t -> string -> bool
+(** Does the path resolve (following symlinks) to an existing node? *)
+
+val is_dir : t -> string -> bool
+val is_file : t -> string -> bool
+
+val ls : t -> string -> (string list, error) result
+(** Sorted entry names of a directory (follows a final symlink). *)
+
+val walk : t -> string -> (string * kind) list
+(** All paths strictly under a directory (recursive, depth-first, sorted),
+    with their kinds; symlinks are reported, not followed. Empty list when
+    the path is not a directory. *)
+
+val remove : t -> ?recursive:bool -> string -> (unit, error) result
+(** Remove a file, symlink (not its target), or directory. Non-empty
+    directories require [~recursive:true]. *)

@@ -1,0 +1,26 @@
+let split p =
+  String.split_on_char '/' p |> List.filter (fun c -> c <> "" && c <> ".")
+
+let is_absolute p = String.length p > 0 && p.[0] = '/'
+
+let concat components = "/" ^ String.concat "/" components
+
+let normalize p =
+  let rec resolve acc = function
+    | [] -> List.rev acc
+    | ".." :: rest -> (
+        match acc with [] -> resolve [] rest | _ :: up -> resolve up rest)
+    | c :: rest -> resolve (c :: acc) rest
+  in
+  concat (resolve [] (split p))
+
+let join dir name =
+  if is_absolute name then normalize name else normalize (dir ^ "/" ^ name)
+
+let dirname p =
+  match List.rev (split p) with
+  | [] | [ _ ] -> "/"
+  | _ :: rest -> concat (List.rev rest)
+
+let basename p =
+  match List.rev (split p) with [] -> "" | last :: _ -> last

@@ -1,0 +1,27 @@
+(** Slash-separated virtual paths.
+
+    All paths in the virtual filesystem are absolute ("/..."). Components
+    ["."] and [""] are dropped; [".."] is resolved lexically by
+    {!normalize}. *)
+
+val split : string -> string list
+(** Components of a path, with empty and ["."] components dropped
+    (no [".."] handling — see {!normalize}). *)
+
+val join : string -> string -> string
+(** [join dir name] appends one component (or relative path) to [dir]. *)
+
+val normalize : string -> string
+(** Canonical absolute form: leading slash, no duplicate slashes, [".."]
+    resolved lexically (never above the root). *)
+
+val dirname : string -> string
+(** Parent path; ["/"] is its own parent. *)
+
+val basename : string -> string
+(** Final component; [""] for the root. *)
+
+val is_absolute : string -> bool
+
+val concat : string list -> string
+(** Build an absolute path from components. *)

@@ -1,0 +1,1 @@
+lib/views/extensions.ml: List Ospack_vfs Printf Result String

@@ -1,0 +1,1 @@
+lib/views/extensions.mli: Ospack_vfs

@@ -1,0 +1,1 @@
+lib/views/view.ml: Buffer Hashtbl List Option Ospack_config Ospack_spec Ospack_version Ospack_vfs String

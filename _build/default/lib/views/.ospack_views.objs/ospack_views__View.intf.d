@@ -1,0 +1,1 @@
+lib/views/view.mli: Ospack_config Ospack_spec Ospack_vfs

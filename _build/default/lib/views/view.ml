@@ -1,0 +1,179 @@
+module Vfs = Ospack_vfs.Vfs
+module Concrete = Ospack_spec.Concrete
+module Ast = Ospack_spec.Ast
+module Config = Ospack_config.Config
+module Policy = Ospack_config.Policy
+module Version = Ospack_version.Version
+module Vlist = Ospack_version.Vlist
+
+type rule = string
+
+type link_report = {
+  lr_link : string;
+  lr_target : string;
+  lr_shadowed : string list;
+}
+
+let mpi_of spec =
+  List.find_map
+    (fun n ->
+      if List.mem_assoc "mpi" n.Concrete.provided then Some n else None)
+    (Concrete.nodes spec)
+
+let variables spec =
+  let n = Concrete.root_node spec in
+  let cname, cver = n.Concrete.compiler in
+  let mpiname, mpiversion =
+    match mpi_of spec with
+    | Some m when m.Concrete.name <> n.Concrete.name ->
+        (m.Concrete.name, Version.to_string m.Concrete.version)
+    | _ -> ("nompi", "0")
+  in
+  [
+    ("PACKAGE", n.Concrete.name);
+    ("VERSION", Version.to_string n.Concrete.version);
+    ("COMPILER", cname);
+    ("COMPILER_VERSION", Version.to_string cver);
+    ("ARCH", n.Concrete.arch);
+    ("HASH", Concrete.root_hash spec);
+    ("MPINAME", mpiname);
+    ("MPIVERSION", mpiversion);
+  ]
+
+let expand_rule rule spec =
+  let vars = variables spec in
+  let buf = Buffer.create (String.length rule) in
+  let n = String.length rule in
+  let rec go i =
+    if i >= n then ()
+    else if i + 1 < n && rule.[i] = '$' && rule.[i + 1] = '{' then
+      match String.index_from_opt rule (i + 2) '}' with
+      | Some close ->
+          let var = String.sub rule (i + 2) (close - i - 2) in
+          (match List.assoc_opt var vars with
+          | Some value -> Buffer.add_string buf value
+          | None -> Buffer.add_string buf (String.sub rule i (close - i + 1)));
+          go (close + 1)
+      | None ->
+          Buffer.add_string buf (String.sub rule i (n - i))
+    else begin
+      Buffer.add_char buf rule.[i];
+      go (i + 1)
+    end
+  in
+  go 0;
+  Buffer.contents buf
+
+(* Preference between two specs colliding on one link (§4.3.1): earlier
+   compiler_order entry wins, then newer version, newer compiler, hash. *)
+let preference config spec =
+  let n = Concrete.root_node spec in
+  let cname, cver = n.Concrete.compiler in
+  let order = Policy.compiler_order config in
+  let rec rank i = function
+    | [] -> max_int
+    | (req : Ast.compiler_req) :: rest ->
+        if req.Ast.c_name = cname && Vlist.mem cver req.Ast.c_versions then i
+        else rank (i + 1) rest
+  in
+  (rank 0 order, n.Concrete.version, cver, Concrete.root_hash spec)
+
+let better config a b =
+  let ra, va, ca, ha = preference config a
+  and rb, vb, cb, hb = preference config b in
+  if ra <> rb then ra < rb
+  else
+    match Version.compare va vb with
+    | 0 -> (
+        match Version.compare ca cb with
+        | 0 -> ha < hb
+        | c -> c > 0)
+    | c -> c > 0
+
+type merge_report = {
+  mr_linked : int;
+  mr_conflicts : (string * string * string) list;
+}
+
+let payload_files vfs prefix =
+  Vfs.walk vfs prefix
+  |> List.filter_map (fun (path, kind) ->
+         match kind with
+         | Vfs.Dir -> None
+         | Vfs.File | Vfs.Symlink ->
+             let plen = String.length prefix + 1 in
+             let rel = String.sub path plen (String.length path - plen) in
+             if String.length rel >= 6 && String.sub rel 0 6 = ".spack" then
+               None
+             else Some rel)
+
+let merge vfs ~config ~view_root ~installed =
+  (* most-preferred first, so winners claim contested paths *)
+  let ordered =
+    List.stable_sort
+      (fun (a, _) (b, _) ->
+        if better config a b then -1 else if better config b a then 1 else 0)
+      installed
+  in
+  let owner = Hashtbl.create 64 in
+  let linked = ref 0 in
+  let conflicts = ref [] in
+  List.iter
+    (fun (_, prefix) ->
+      List.iter
+        (fun rel ->
+          match Hashtbl.find_opt owner rel with
+          | Some winner -> conflicts := (rel, winner, prefix) :: !conflicts
+          | None -> (
+              let link = view_root ^ "/" ^ rel in
+              (match Vfs.kind_of vfs link with
+              | Some Vfs.Symlink -> ignore (Vfs.remove vfs link)
+              | _ -> ());
+              match Vfs.symlink vfs ~target:(prefix ^ "/" ^ rel) ~link with
+              | Ok () ->
+                  Hashtbl.replace owner rel prefix;
+                  incr linked
+              | Error e -> invalid_arg ("View.merge: " ^ Vfs.error_to_string e)))
+        (payload_files vfs prefix))
+    ordered;
+  { mr_linked = !linked; mr_conflicts = List.rev !conflicts }
+
+let sync vfs ~config ~rules ~installed =
+  let by_link = Hashtbl.create 16 in
+  List.iter
+    (fun rule ->
+      List.iter
+        (fun (spec, prefix) ->
+          let link = expand_rule rule spec in
+          let existing =
+            Option.value (Hashtbl.find_opt by_link link) ~default:[]
+          in
+          Hashtbl.replace by_link link ((spec, prefix) :: existing))
+        installed)
+    rules;
+  Hashtbl.fold
+    (fun link candidates acc ->
+      let winner, losers =
+        match candidates with
+        | [] -> assert false
+        | first :: rest ->
+            List.fold_left
+              (fun (best, shadowed) (spec, prefix) ->
+                let bspec, bprefix = best in
+                if better config spec bspec then
+                  ((spec, prefix), bprefix :: shadowed)
+                else (best, prefix :: shadowed))
+              (first, []) rest
+      in
+      let _, target = winner in
+      (match Vfs.kind_of vfs link with
+      | Some Vfs.Symlink -> ignore (Vfs.remove vfs link)
+      | Some _ -> ignore (Vfs.remove vfs ~recursive:true link)
+      | None -> ());
+      (match Vfs.symlink vfs ~target ~link with
+      | Ok () -> ()
+      | Error e -> invalid_arg ("View.sync: " ^ Vfs.error_to_string e));
+      { lr_link = link; lr_target = target; lr_shadowed = List.sort compare losers }
+      :: acc)
+    by_link []
+  |> List.sort (fun a b -> String.compare a.lr_link b.lr_link)

@@ -1,0 +1,1 @@
+test/test_buildsim.ml: Alcotest Astring List Ospack_buildsim Ospack_config Ospack_package Ospack_spec Ospack_version Ospack_vfs Printf QCheck QCheck_alcotest Result

@@ -1,0 +1,1 @@
+test/test_config.ml: Alcotest List Option Ospack_config Ospack_spec Ospack_version Result

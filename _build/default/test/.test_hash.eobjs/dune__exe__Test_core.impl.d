@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Astring List Ospack Ospack_buildsim Ospack_config Ospack_package Ospack_repo Ospack_spec Ospack_store Ospack_version Ospack_vfs Ospack_views Result String

@@ -1,0 +1,1 @@
+test/test_dag.ml: Alcotest Astring Dag Hashtbl List Ospack_dag QCheck QCheck_alcotest Result String

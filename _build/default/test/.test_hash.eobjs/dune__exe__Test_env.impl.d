@@ -1,0 +1,1 @@
+test/test_env.ml: Alcotest List Ospack Ospack_spec Ospack_store Ospack_vfs Result

@@ -1,0 +1,1 @@
+test/test_hash.ml: Alcotest Char Digest Gen Hex List Md5 Ospack_hash Printf QCheck QCheck_alcotest Sha256 String

@@ -1,0 +1,1 @@
+test/test_json.ml: Alcotest Hashtbl Lazy List Option Ospack_concretize Ospack_json Ospack_package Ospack_repo Ospack_spec QCheck QCheck_alcotest Result

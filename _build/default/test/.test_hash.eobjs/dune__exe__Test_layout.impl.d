@@ -1,0 +1,1 @@
+test/test_layout.ml: Alcotest Astring List Ospack_concretize Ospack_layout Ospack_repo Ospack_spec Ospack_version Printf String

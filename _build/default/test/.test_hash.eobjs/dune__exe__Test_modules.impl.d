@@ -1,0 +1,1 @@
+test/test_modules.ml: Alcotest Astring List Ospack_modulesgen Ospack_spec Ospack_version

@@ -1,0 +1,1 @@
+test/test_package.ml: Alcotest List Ospack_package Ospack_spec Ospack_version String

@@ -1,0 +1,1 @@
+test/test_spec.ml: Alcotest Astring Bool List Option Ospack_package Ospack_repo Ospack_spec Ospack_version QCheck QCheck_alcotest Result String

@@ -1,0 +1,1 @@
+test/test_version.ml: Alcotest List Option Ospack_version Printf QCheck QCheck_alcotest String Version

@@ -1,0 +1,1 @@
+test/test_vfs.ml: Alcotest Hashtbl List Ospack_vfs QCheck QCheck_alcotest Result String Vfs Vpath

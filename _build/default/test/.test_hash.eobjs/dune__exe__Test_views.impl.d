@@ -1,0 +1,1 @@
+test/test_views.ml: Alcotest Astring List Ospack_config Ospack_spec Ospack_version Ospack_vfs Ospack_views Result

@@ -1,0 +1,1 @@
+test/test_vlist.ml: Alcotest Option Ospack_version Printf QCheck QCheck_alcotest String Version Vlist

@@ -1,0 +1,139 @@
+(* DAG substrate: topological order, cycle detection, reachability,
+   sub-DAG extraction, rendering. *)
+
+open Ospack_dag
+
+let diamond () =
+  (* a -> b, a -> c, b -> d, c -> d *)
+  let g =
+    Dag.empty
+    |> fun g -> Dag.add_edge g ~from:"a" ~to_:"b"
+    |> fun g -> Dag.add_edge g ~from:"a" ~to_:"c"
+    |> fun g -> Dag.add_edge g ~from:"b" ~to_:"d"
+    |> fun g -> Dag.add_edge g ~from:"c" ~to_:"d"
+  in
+  g
+
+let basic_ops () =
+  let g = diamond () in
+  Alcotest.(check int) "node count" 4 (Dag.node_count g);
+  Alcotest.(check (list string)) "nodes sorted" [ "a"; "b"; "c"; "d" ] (Dag.nodes g);
+  Alcotest.(check (list string)) "successors" [ "b"; "c" ] (Dag.successors g "a");
+  Alcotest.(check (list string)) "predecessors" [ "b"; "c" ] (Dag.predecessors g "d");
+  Alcotest.(check (list string)) "unknown node" [] (Dag.successors g "zzz");
+  Alcotest.(check bool) "idempotent edges" true
+    (Dag.equal g (Dag.add_edge g ~from:"a" ~to_:"b"))
+
+let topo_order () =
+  let g = diamond () in
+  match Dag.topological_sort g with
+  | Error _ -> Alcotest.fail "diamond is acyclic"
+  | Ok order ->
+      let pos x =
+        let rec go i = function
+          | [] -> -1
+          | y :: rest -> if x = y then i else go (i + 1) rest
+        in
+        go 0 order
+      in
+      (* dependencies (successors) come first *)
+      Alcotest.(check bool) "d before b" true (pos "d" < pos "b");
+      Alcotest.(check bool) "d before c" true (pos "d" < pos "c");
+      Alcotest.(check bool) "b before a" true (pos "b" < pos "a");
+      Alcotest.(check int) "complete" 4 (List.length order)
+
+let cycle_detection () =
+  let g =
+    Dag.empty
+    |> fun g -> Dag.add_edge g ~from:"a" ~to_:"b"
+    |> fun g -> Dag.add_edge g ~from:"b" ~to_:"c"
+    |> fun g -> Dag.add_edge g ~from:"c" ~to_:"a"
+  in
+  (match Dag.topological_sort g with
+  | Ok _ -> Alcotest.fail "expected a cycle"
+  | Error cycle ->
+      Alcotest.(check bool) "cycle has length >= 3" true (List.length cycle >= 3));
+  let self = Dag.add_edge Dag.empty ~from:"x" ~to_:"x" in
+  Alcotest.(check bool) "self loop is a cycle" true
+    (Result.is_error (Dag.topological_sort self))
+
+let reachability () =
+  let g = Dag.add_node (diamond ()) "island" in
+  Alcotest.(check (list string)) "reachable from a" [ "a"; "b"; "c"; "d" ]
+    (Dag.reachable g "a");
+  Alcotest.(check (list string)) "reachable from b" [ "b"; "d" ]
+    (Dag.reachable g "b");
+  Alcotest.(check (list string)) "unknown root" [] (Dag.reachable g "nope");
+  let sub = Dag.subgraph g "b" in
+  Alcotest.(check (list string)) "subgraph nodes" [ "b"; "d" ] (Dag.nodes sub);
+  Alcotest.(check (list string)) "subgraph edges kept" [ "d" ] (Dag.successors sub "b")
+
+let rendering () =
+  let g = diamond () in
+  let dot = Dag.to_dot g in
+  Alcotest.(check bool) "dot has edge" true
+    (Astring.String.is_infix ~affix:"\"a\" -> \"b\"" dot);
+  let tree = Dag.to_tree ~root:"a" g in
+  let lines = String.split_on_char '\n' tree |> List.filter (fun l -> l <> "") in
+  (* root + b + d + c + d: shared nodes expand at each occurrence *)
+  Alcotest.(check int) "tree line count" 5 (List.length lines);
+  Alcotest.(check bool) "root unindented" true
+    (String.length (List.hd lines) > 0 && (List.hd lines).[0] = 'a');
+  (* cyclic graphs terminate with a marker *)
+  let cyc =
+    Dag.add_edge (Dag.add_edge Dag.empty ~from:"p" ~to_:"q") ~from:"q" ~to_:"p"
+  in
+  let t = Dag.to_tree ~root:"p" cyc in
+  Alcotest.(check bool) "cycle marked" true
+    (Astring.String.is_infix ~affix:"(cycle)" t)
+
+(* random DAGs: edges only from lower to higher index, hence acyclic *)
+let arb_dag =
+  let gen =
+    QCheck.Gen.(
+      let* n = int_range 2 12 in
+      let* edges =
+        list_size (int_bound 20)
+          (pair (int_bound (n - 1)) (int_bound (n - 1)))
+      in
+      return (n, edges))
+  in
+  QCheck.make gen
+
+let topo_respects_edges =
+  QCheck.Test.make ~name:"topological order puts successors first" ~count:200
+    arb_dag
+    (fun (n, edges) ->
+      let name i = "n" ^ string_of_int i in
+      let g =
+        List.fold_left
+          (fun g (a, b) ->
+            if a < b then Dag.add_edge g ~from:(name a) ~to_:(name b) else g)
+          Dag.empty edges
+      in
+      let g = Dag.add_node g (name (n - 1)) in
+      match Dag.topological_sort g with
+      | Error _ -> false
+      | Ok order ->
+          let pos = Hashtbl.create 16 in
+          List.iteri (fun i x -> Hashtbl.replace pos x i) order;
+          List.for_all
+            (fun node ->
+              List.for_all
+                (fun succ -> Hashtbl.find pos succ < Hashtbl.find pos node)
+                (Dag.successors g node))
+            (Dag.nodes g))
+
+let () =
+  Alcotest.run "dag"
+    [
+      ( "dag",
+        [
+          Alcotest.test_case "basic operations" `Quick basic_ops;
+          Alcotest.test_case "topological sort" `Quick topo_order;
+          Alcotest.test_case "cycle detection" `Quick cycle_detection;
+          Alcotest.test_case "reachability and subgraph" `Quick reachability;
+          Alcotest.test_case "dot and tree rendering" `Quick rendering;
+          QCheck_alcotest.to_alcotest topo_respects_edges;
+        ] );
+    ]

@@ -1,0 +1,115 @@
+(* Environments: manifests, lockfiles, merged views, drift immunity. *)
+
+module Environment = Ospack.Environment
+module Context = Ospack.Context
+module Concrete = Ospack_spec.Concrete
+module Database = Ospack_store.Database
+module Installer = Ospack_store.Installer
+module Vfs = Ospack_vfs.Vfs
+
+let ok = function
+  | Ok x -> x
+  | Error e -> Alcotest.failf "unexpected error: %s" e
+
+let manifest_lifecycle () =
+  let ctx = Context.create () in
+  Alcotest.(check (list string)) "no envs yet" [] (Environment.list_envs ctx);
+  let env = ok (Environment.create ctx ~name:"tools" ()) in
+  Alcotest.(check (list string)) "listed" [ "tools" ] (Environment.list_envs ctx);
+  Alcotest.(check bool) "duplicate name rejected" true
+    (Result.is_error (Environment.create ctx ~name:"tools" ()));
+  Alcotest.(check bool) "bad name rejected" true
+    (Result.is_error (Environment.create ctx ~name:"to ols" ()));
+  let env = ok (Environment.add ctx env "mpileaks ^mvapich2@1.9") in
+  let env = ok (Environment.add ctx env "gsl") in
+  Alcotest.(check bool) "duplicate root rejected" true
+    (Result.is_error (Environment.add ctx env "gsl"));
+  Alcotest.(check bool) "bad spec rejected" true
+    (Result.is_error (Environment.add ctx env "a b"));
+  (* persistence: reload sees the same manifest *)
+  let reloaded = ok (Environment.load ctx ~name:"tools") in
+  Alcotest.(check (list string)) "roots persisted"
+    [ "mpileaks ^mvapich2@1.9"; "gsl" ]
+    reloaded.Environment.env_roots;
+  let env = ok (Environment.remove_root ctx env "gsl") in
+  Alcotest.(check (list string)) "root removed"
+    [ "mpileaks ^mvapich2@1.9" ]
+    env.Environment.env_roots;
+  Alcotest.(check bool) "unknown env load fails" true
+    (Result.is_error (Environment.load ctx ~name:"nope"))
+
+let install_and_lock () =
+  let ctx = Context.create () in
+  let env = ok (Environment.create ctx ~name:"prod" ~view:"/opt/prod" ()) in
+  let env = ok (Environment.add ctx env "mpileaks ^mvapich2@1.9") in
+  let env = ok (Environment.add ctx env "mpileaks ^openmpi") in
+  (match Environment.status ctx env with
+  | [ (_, false); (_, false) ] -> ()
+  | _ -> Alcotest.fail "nothing installed yet");
+  let reports = ok (Environment.install ctx env) in
+  Alcotest.(check int) "one report per root" 2 (List.length reports);
+  (* cross-root sharing: the second root reuses the dyninst chain *)
+  (match reports with
+  | [ _; second ] ->
+      let reused =
+        List.filter
+          (fun o -> o.Installer.o_reused)
+          second.Ospack.Commands.ir_outcomes
+      in
+      Alcotest.(check bool) "sub-DAG shared across roots" true
+        (List.length reused >= 3)
+  | _ -> Alcotest.fail "two reports");
+  (match Environment.status ctx env with
+  | [ (_, true); (_, true) ] -> ()
+  | _ -> Alcotest.fail "both roots installed");
+  (* the merged view exists and is usable *)
+  Alcotest.(check bool) "view materialized" true
+    (Vfs.is_dir ctx.Context.vfs "/opt/prod/bin");
+  (* lockfile holds the exact concrete DAGs *)
+  let locked = ok (Environment.locked_specs ctx env) in
+  Alcotest.(check int) "two locked specs" 2 (List.length locked);
+  List.iter2
+    (fun locked_spec report ->
+      Alcotest.(check string) "lock matches install"
+        (Concrete.root_hash report.Ospack.Commands.ir_spec)
+        (Concrete.root_hash locked_spec))
+    locked reports
+
+let locked_replay_survives_drift () =
+  let ctx = Context.create () in
+  let env = ok (Environment.create ctx ~name:"locked" ()) in
+  let env = ok (Environment.add ctx env "libdwarf") in
+  let reports = ok (Environment.install ctx env) in
+  let original_hash =
+    Concrete.root_hash (List.hd reports).Ospack.Commands.ir_spec
+  in
+  (* wipe the store, keeping the filesystem (and hence the lockfile) *)
+  ignore (ok (Ospack.uninstall ctx "libdwarf"));
+  ignore (ok (Ospack.gc ctx));
+  Alcotest.(check int) "store drained" 0
+    (Database.count (Installer.database ctx.Context.installer));
+  (* replay the lockfile: same configuration, no re-concretization *)
+  let outcomes = ok (Environment.install_locked ctx env) in
+  (match outcomes with
+  | [ run ] ->
+      let root = List.nth run (List.length run - 1) in
+      Alcotest.(check string) "locked hash reproduced" original_hash
+        root.Installer.o_record.Database.r_hash
+  | _ -> Alcotest.fail "one locked run");
+  (* an environment without a lockfile refuses locked replay *)
+  let bare = ok (Environment.create ctx ~name:"bare" ()) in
+  Alcotest.(check bool) "no lockfile -> error" true
+    (Result.is_error (Environment.install_locked ctx bare))
+
+let () =
+  Alcotest.run "env"
+    [
+      ( "environment",
+        [
+          Alcotest.test_case "manifest lifecycle" `Quick manifest_lifecycle;
+          Alcotest.test_case "install, lock, merged view" `Quick
+            install_and_lock;
+          Alcotest.test_case "locked replay survives drift" `Quick
+            locked_replay_survives_drift;
+        ] );
+    ]

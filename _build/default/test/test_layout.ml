@@ -1,0 +1,172 @@
+(* Install layouts: the site naming conventions of paper Table 1. *)
+
+module Layout = Ospack_layout.Layout
+module Concrete = Ospack_spec.Concrete
+module Version = Ospack_version.Version
+module Vlist = Ospack_version.Vlist
+
+let smap_of kvs =
+  List.fold_left (fun m (k, v) -> Concrete.Smap.add k v m) Concrete.Smap.empty kvs
+
+let cnode ?(variants = []) ?(deps = []) ?(provided = []) name version =
+  {
+    Concrete.name;
+    version = Version.of_string version;
+    compiler = ("gcc", Version.of_string "4.9.2");
+    variants = smap_of variants;
+    arch = "linux-x86_64";
+    deps;
+    provided = List.map (fun (v, b) -> (v, Vlist.of_string b)) provided;
+  }
+
+let sample =
+  match
+    Concrete.make ~root:"mpileaks"
+      [
+        cnode "mpileaks" "1.0"
+          ~variants:[ ("debug", true); ("shared", false) ]
+          ~deps:[ "mvapich2" ];
+        cnode "mvapich2" "1.9" ~provided:[ ("mpi", ":2.2") ];
+      ]
+  with
+  | Ok c -> c
+  | Error _ -> failwith "bad sample"
+
+let serial =
+  match Concrete.make ~root:"zlib" [ cnode "zlib" "1.2.8" ] with
+  | Ok c -> c
+  | Error _ -> failwith "bad sample"
+
+let hash = Concrete.root_hash sample
+
+let spack_default () =
+  Alcotest.(check string) "arch/compiler/name-version-options-hash"
+    (Printf.sprintf
+       "/opt/linux-x86_64/gcc-4.9.2/mpileaks-1.0-debug-%s" hash)
+    (Layout.path Layout.Spack_default ~root:"/opt" sample)
+
+let llnl_global () =
+  Alcotest.(check string) "arch/package/version"
+    "/usr/global/tools/linux-x86_64/mpileaks/1.0"
+    (Layout.path Layout.Llnl_usr_global ~root:"/usr/global/tools" sample)
+
+let llnl_local () =
+  Alcotest.(check string) "package-compiler-build-version"
+    (Printf.sprintf "/usr/local/tools/mpileaks-gcc-4.9.2-%s-1.0" hash)
+    (Layout.path Layout.Llnl_usr_local ~root:"/usr/local/tools" sample)
+
+let ornl () =
+  Alcotest.(check string) "arch/package/version/build"
+    (Printf.sprintf "/sw/linux-x86_64/mpileaks/1.0/%s" hash)
+    (Layout.path Layout.Ornl ~root:"/sw" sample)
+
+let tacc () =
+  Alcotest.(check string) "compiler/mpi/package/version"
+    "/apps/gcc-4.9.2/mvapich2/1.9/mpileaks/1.0"
+    (Layout.path Layout.Tacc_lmod ~root:"/apps" sample);
+  (* no MPI in the DAG -> serial slot *)
+  Alcotest.(check string) "serial package"
+    "/apps/gcc-4.9.2/serial/none/zlib/1.2.8"
+    (Layout.path Layout.Tacc_lmod ~root:"/apps" serial);
+  (* an MPI library itself is not its own MPI *)
+  let mpi_only =
+    match
+      Concrete.make ~root:"mvapich2"
+        [ cnode "mvapich2" "1.9" ~provided:[ ("mpi", ":2.2") ] ]
+    with
+    | Ok c -> c
+    | Error _ -> failwith "bad"
+  in
+  Alcotest.(check string) "mpi package itself"
+    "/apps/gcc-4.9.2/serial/none/mvapich2/1.9"
+    (Layout.path Layout.Tacc_lmod ~root:"/apps" mpi_only)
+
+let uniqueness () =
+  (* only the Spack default distinguishes the debug variant *)
+  let other =
+    match
+      Concrete.make ~root:"mpileaks"
+        [
+          cnode "mpileaks" "1.0"
+            ~variants:[ ("debug", false); ("shared", false) ]
+            ~deps:[ "mvapich2" ];
+          cnode "mvapich2" "1.9" ~provided:[ ("mpi", ":2.2") ];
+        ]
+    with
+    | Ok c -> c
+    | Error _ -> failwith "bad"
+  in
+  Alcotest.(check bool) "spack default separates configurations" true
+    (Layout.path Layout.Spack_default ~root:"/opt" sample
+    <> Layout.path Layout.Spack_default ~root:"/opt" other);
+  Alcotest.(check bool) "LLNL global collides (the paper's point)" true
+    (Layout.path Layout.Llnl_usr_global ~root:"/r" sample
+    = Layout.path Layout.Llnl_usr_global ~root:"/r" other)
+
+let node_paths () =
+  (* non-root nodes get their own sub-DAG hash *)
+  let p = Layout.node_path Layout.Spack_default ~root:"/opt" sample "mvapich2" in
+  Alcotest.(check bool) "dep hash differs from root hash" true
+    (not (Astring.String.is_infix ~affix:hash p));
+  Alcotest.(check bool) "dep path names the dep" true
+    (Astring.String.is_infix ~affix:"mvapich2-1.9" p)
+
+let whole_universe_paths () =
+  (* every scheme produces a path for every node of a large real DAG, and
+     the Spack-default paths are pairwise distinct *)
+  let ctx =
+    Ospack_concretize.Concretizer.make_ctx
+      ~config:Ospack_repo.Universe.default_config
+      ~compilers:Ospack_repo.Universe.compilers
+      (Ospack_repo.Universe.repository ())
+  in
+  let spec =
+    match Ospack_concretize.Concretizer.concretize_string ctx "ares" with
+    | Ok c -> c
+    | Error e -> Alcotest.failf "ares: %s" e
+  in
+  let nodes = List.map (fun n -> n.Concrete.name) (Concrete.nodes spec) in
+  List.iter
+    (fun (_, scheme) ->
+      List.iter
+        (fun name ->
+          let p = Layout.node_path scheme ~root:"/r" spec name in
+          Alcotest.(check bool) (name ^ " path nonempty") true
+            (String.length p > String.length "/r/"))
+        nodes)
+    Layout.all_schemes;
+  let default_paths =
+    List.map (fun n -> Layout.node_path Layout.Spack_default ~root:"/r" spec n) nodes
+  in
+  Alcotest.(check int) "default paths unique" (List.length nodes)
+    (List.length (List.sort_uniq compare default_paths));
+  (* TACC scheme places every non-MPI node under the DAG's MPI *)
+  let mpi_name =
+    match
+      List.find_opt
+        (fun n -> List.mem_assoc "mpi" n.Concrete.provided)
+        (Concrete.nodes spec)
+    with
+    | Some n -> n.Concrete.name
+    | None -> Alcotest.fail "ares has an mpi provider"
+  in
+  let ares_tacc = Layout.node_path Layout.Tacc_lmod ~root:"/apps" spec "ares" in
+  Alcotest.(check bool) "ares under its MPI on TACC" true
+    (Astring.String.is_infix ~affix:("/" ^ mpi_name ^ "/") ares_tacc)
+
+let () =
+  Alcotest.run "layout"
+    [
+      ( "table1",
+        [
+          Alcotest.test_case "Spack default" `Quick spack_default;
+          Alcotest.test_case "LLNL /usr/global" `Quick llnl_global;
+          Alcotest.test_case "LLNL /usr/local" `Quick llnl_local;
+          Alcotest.test_case "ORNL" `Quick ornl;
+          Alcotest.test_case "TACC/Lmod" `Quick tacc;
+          Alcotest.test_case "uniqueness" `Quick uniqueness;
+          Alcotest.test_case "per-node paths" `Quick node_paths;
+          Alcotest.test_case "whole-universe path generation" `Quick
+            whole_universe_paths;
+        ] );
+    ]

@@ -1,0 +1,87 @@
+(* Environment-module generation (paper §3.5.4) and the Lmod hierarchy
+   extension. *)
+
+module Modulegen = Ospack_modulesgen.Modulegen
+module Concrete = Ospack_spec.Concrete
+module Version = Ospack_version.Version
+module Vlist = Ospack_version.Vlist
+
+let cnode ?(deps = []) ?(provided = []) name version =
+  {
+    Concrete.name;
+    version = Version.of_string version;
+    compiler = ("gcc", Version.of_string "4.9.2");
+    variants = Concrete.Smap.empty;
+    arch = "linux-x86_64";
+    deps;
+    provided = List.map (fun (v, b) -> (v, Vlist.of_string b)) provided;
+  }
+
+let with_mpi =
+  match
+    Concrete.make ~root:"mpileaks"
+      [
+        cnode "mpileaks" "1.0" ~deps:[ "openmpi" ];
+        cnode "openmpi" "1.8.2" ~provided:[ ("mpi", ":2.2") ];
+      ]
+  with
+  | Ok c -> c
+  | Error _ -> failwith "bad"
+
+let serial =
+  match Concrete.make ~root:"zlib" [ cnode "zlib" "1.2.8" ] with
+  | Ok c -> c
+  | Error _ -> failwith "bad"
+
+let prefix = "/opt/x/mpileaks"
+
+let contains hay needle = Astring.String.is_infix ~affix:needle hay
+
+let env_entries () =
+  let entries = Modulegen.env_entries with_mpi ~prefix in
+  Alcotest.(check (option string)) "PATH" (Some (prefix ^ "/bin"))
+    (List.assoc_opt "PATH" entries);
+  Alcotest.(check (option string)) "LD_LIBRARY_PATH set even though RPATH'd"
+    (Some (prefix ^ "/lib"))
+    (List.assoc_opt "LD_LIBRARY_PATH" entries);
+  Alcotest.(check (option string)) "MANPATH" (Some (prefix ^ "/share/man"))
+    (List.assoc_opt "MANPATH" entries)
+
+let dotkit () =
+  let dk = Modulegen.dotkit with_mpi ~prefix in
+  Alcotest.(check bool) "category line" true (contains dk "#c spack");
+  Alcotest.(check bool) "description has name+compiler" true
+    (contains dk "mpileaks@1.0 built with gcc@4.9.2");
+  Alcotest.(check bool) "dk_alter PATH" true
+    (contains dk ("dk_alter PATH " ^ prefix ^ "/bin"))
+
+let tcl () =
+  let m = Modulegen.tcl with_mpi ~prefix in
+  Alcotest.(check bool) "module magic" true (contains m "#%Module1.0");
+  Alcotest.(check bool) "help proc" true (contains m "ModulesHelp");
+  Alcotest.(check bool) "prepend-path" true
+    (contains m ("prepend-path LD_LIBRARY_PATH " ^ prefix ^ "/lib"))
+
+let lmod_hierarchy () =
+  Alcotest.(check string) "mpi-dependent placement"
+    "gcc/4.9.2/openmpi/1.8.2/mpileaks/1.0.lua"
+    (Modulegen.lmod_hierarchy_path with_mpi);
+  Alcotest.(check string) "serial placement" "gcc/4.9.2/zlib/1.2.8.lua"
+    (Modulegen.lmod_hierarchy_path serial);
+  let m = Modulegen.lmod with_mpi ~prefix in
+  Alcotest.(check bool) "lua whatis" true (contains m "whatis(\"Name : mpileaks\")");
+  Alcotest.(check bool) "lua prepend_path" true
+    (contains m "prepend_path(\"PATH\"")
+
+let () =
+  Alcotest.run "modules"
+    [
+      ( "modulegen",
+        [
+          Alcotest.test_case "env entries" `Quick env_entries;
+          Alcotest.test_case "dotkit" `Quick dotkit;
+          Alcotest.test_case "tcl" `Quick tcl;
+          Alcotest.test_case "lmod hierarchy (future work §3.5.4)" `Quick
+            lmod_hierarchy;
+        ] );
+    ]

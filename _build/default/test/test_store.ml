@@ -1,0 +1,449 @@
+(* The install store: database queries, bottom-up installation with
+   sub-DAG reuse (paper Fig. 9), uninstall safety, and provenance
+   (§3.4.3). *)
+
+open Ospack_package.Package
+module Repository = Ospack_package.Repository
+module Compilers = Ospack_config.Compilers
+module Concretizer = Ospack_concretize.Concretizer
+module Concrete = Ospack_spec.Concrete
+module Parser = Ospack_spec.Parser
+module Database = Ospack_store.Database
+module Installer = Ospack_store.Installer
+module Provenance = Ospack_store.Provenance
+module Vfs = Ospack_vfs.Vfs
+
+let repo =
+  Repository.create
+    [
+      make_pkg "mpileaks"
+        [ version "1.0"; depends_on "mpi"; depends_on "callpath" ];
+      make_pkg "callpath" [ version "1.0"; depends_on "dyninst" ];
+      make_pkg "dyninst" [ version "8.2"; depends_on "libelf" ];
+      make_pkg "libelf" [ version "0.8.13" ];
+      make_pkg "mpich" [ version "3.0.4"; provides "mpi@:3" ];
+      make_pkg "openmpi" [ version "1.8.2"; provides "mpi@:2.2" ];
+    ]
+
+let compilers = Compilers.create [ Compilers.toolchain "gcc" "4.9.2" ]
+let cctx = Concretizer.make_ctx ~compilers repo
+
+let concretize spec =
+  match Concretizer.concretize_string cctx spec with
+  | Ok c -> c
+  | Error e -> Alcotest.failf "concretize %s: %s" spec e
+
+let fresh () =
+  let vfs = Vfs.create () in
+  (vfs, Installer.create ~vfs ~repo ~compilers ())
+
+let install inst spec =
+  match Installer.install inst (concretize spec) with
+  | Ok outcomes -> outcomes
+  | Error e -> Alcotest.failf "install %s: %s" spec e
+
+(* --- database --- *)
+
+let database_queries () =
+  let _, inst = fresh () in
+  ignore (install inst "mpileaks ^mpich");
+  let db = Installer.database inst in
+  Alcotest.(check int) "five records" 5 (Database.count db);
+  Alcotest.(check int) "one mpileaks" 1
+    (List.length (Database.find_by_name db "mpileaks"));
+  (* find_satisfying with abstract queries *)
+  let q s = Database.find_satisfying db (Parser.parse_exn s) in
+  Alcotest.(check int) "query by name" 1 (List.length (q "mpileaks"));
+  Alcotest.(check int) "query by dep" 1 (List.length (q "mpileaks ^libelf@0.8.13"));
+  Alcotest.(check int) "query by virtual" 1 (List.length (q "mpileaks ^mpi"));
+  Alcotest.(check int) "provider satisfies virtual query" 1
+    (List.length (q "mpi"));
+  Alcotest.(check int) "mismatched version" 0 (List.length (q "mpileaks@2:"));
+  (* explicit flag: only the root is explicit *)
+  let explicit = List.filter (fun r -> r.Database.r_explicit) (Database.all db) in
+  Alcotest.(check (list string)) "explicit root only" [ "mpileaks" ]
+    (List.map (fun r -> Concrete.root r.Database.r_spec) explicit)
+
+let dependents_tracking () =
+  let _, inst = fresh () in
+  ignore (install inst "mpileaks ^mpich");
+  let db = Installer.database inst in
+  let hash_of name =
+    match Database.find_by_name db name with
+    | [ r ] -> r.Database.r_hash
+    | _ -> Alcotest.failf "expected one %s" name
+  in
+  let deps_of_libelf = Database.dependents_of db (hash_of "libelf") in
+  Alcotest.(check (slist string compare)) "libelf dependents"
+    [ "callpath"; "dyninst"; "mpileaks" ]
+    (List.map (fun r -> Concrete.root r.Database.r_spec) deps_of_libelf);
+  Alcotest.(check (list string)) "root has no dependents" []
+    (List.map
+       (fun r -> Concrete.root r.Database.r_spec)
+       (Database.dependents_of db (hash_of "mpileaks")));
+  (* removal refuses while dependents exist *)
+  Alcotest.(check bool) "remove libelf refused" true
+    (Result.is_error (Database.remove db (hash_of "libelf")));
+  Alcotest.(check bool) "remove root ok" true
+    (Result.is_ok (Database.remove db (hash_of "mpileaks")))
+
+(* --- installer --- *)
+
+let bottom_up_install () =
+  let vfs, inst = fresh () in
+  let outcomes = install inst "mpileaks ^mpich" in
+  Alcotest.(check int) "five builds" 5 (List.length outcomes);
+  Alcotest.(check bool) "nothing reused on first install" true
+    (List.for_all (fun o -> not o.Installer.o_reused) outcomes);
+  (* dependencies install before dependents *)
+  let order =
+    List.map
+      (fun o -> Concrete.root o.Installer.o_record.Database.r_spec)
+      outcomes
+  in
+  let pos x =
+    let rec go i = function
+      | [] -> -1
+      | y :: r -> if x = y then i else go (i + 1) r
+    in
+    go 0 order
+  in
+  Alcotest.(check bool) "libelf before dyninst" true (pos "libelf" < pos "dyninst");
+  Alcotest.(check bool) "root last" true (pos "mpileaks" = 4);
+  (* prefixes exist with provenance and artifacts *)
+  List.iter
+    (fun o ->
+      let prefix = o.Installer.o_record.Database.r_prefix in
+      Alcotest.(check bool) (prefix ^ " exists") true (Vfs.is_dir vfs prefix);
+      Alcotest.(check bool) (prefix ^ " has spec file") true
+        (Provenance.read_spec vfs ~prefix <> None))
+    outcomes
+
+(* Fig. 9: installing with a second MPI reuses the dyninst sub-DAG *)
+let subdag_reuse () =
+  let _, inst = fresh () in
+  ignore (install inst "mpileaks ^mpich");
+  let second = install inst "mpileaks ^openmpi" in
+  let reused, built =
+    List.partition (fun o -> o.Installer.o_reused) second
+  in
+  let names l =
+    List.map (fun o -> Concrete.root o.Installer.o_record.Database.r_spec) l
+    |> List.sort compare
+  in
+  Alcotest.(check (list string)) "dyninst chain reused"
+    [ "callpath"; "dyninst"; "libelf" ]
+    (names reused);
+  Alcotest.(check (list string)) "only MPI-dependent parts rebuilt"
+    [ "mpileaks"; "openmpi" ]
+    (names built);
+  Alcotest.(check int) "7 records total, not 10" 7
+    (Database.count (Installer.database inst));
+  (* third install of the same thing: everything reused *)
+  let third = install inst "mpileaks ^openmpi" in
+  Alcotest.(check bool) "idempotent" true
+    (List.for_all (fun o -> o.Installer.o_reused) third)
+
+let uninstall_safety () =
+  let vfs, inst = fresh () in
+  ignore (install inst "mpileaks ^mpich");
+  let db = Installer.database inst in
+  let hash_of name =
+    match Database.find_by_name db name with
+    | [ r ] -> r.Database.r_hash
+    | _ -> Alcotest.failf "expected one %s" name
+  in
+  (match Installer.uninstall inst ~hash:(hash_of "libelf") with
+  | Ok _ -> Alcotest.fail "uninstalling a dependency must fail"
+  | Error msg ->
+      Alcotest.(check bool) "error names a dependent" true
+        (Astring.String.is_infix ~affix:"dyninst" msg));
+  let root_hash = hash_of "mpileaks" in
+  let root_prefix =
+    (Option.get (Database.find_by_hash db root_hash)).Database.r_prefix
+  in
+  (match Installer.uninstall inst ~hash:root_hash with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "root uninstall failed: %s" e);
+  Alcotest.(check bool) "prefix removed" false (Vfs.exists vfs root_prefix);
+  Alcotest.(check int) "record gone" 4 (Database.count db)
+
+let provenance_content () =
+  let vfs, inst = fresh () in
+  ignore (install inst "mpileaks ^mpich");
+  let db = Installer.database inst in
+  let r = List.hd (Database.find_by_name db "mpileaks") in
+  let prefix = r.Database.r_prefix in
+  (match Provenance.read_spec vfs ~prefix with
+  | Some line ->
+      (* the stored spec re-parses and pins the same configuration *)
+      let ast = Parser.parse_exn line in
+      Alcotest.(check bool) "stored spec satisfied by the install" true
+        (Concrete.satisfies r.Database.r_spec ast)
+  | None -> Alcotest.fail "spec file missing");
+  (match Provenance.read_log vfs ~prefix with
+  | Some lines -> Alcotest.(check bool) "log nonempty" true (lines <> [])
+  | None -> Alcotest.fail "build log missing");
+  match Provenance.read_package_source vfs ~prefix with
+  | Some src -> Alcotest.(check string) "package source" "builtin:mpileaks" src
+  | None -> Alcotest.fail "package source missing"
+
+let spec_json_survives_drift () =
+  (* §3.4.3: the structured provenance restores the exact DAG even if
+     concretization preferences have changed since the install *)
+  let vfs, inst = fresh () in
+  ignore (install inst "mpileaks ^mpich");
+  let db = Installer.database inst in
+  let r = List.hd (Database.find_by_name db "mpileaks") in
+  let stored =
+    match Provenance.read_spec_json vfs ~prefix:r.Database.r_prefix with
+    | Ok c -> c
+    | Error e -> Alcotest.failf "spec.json: %s" e
+  in
+  Alcotest.(check bool) "exact DAG restored" true
+    (Concrete.equal stored r.Database.r_spec);
+  Alcotest.(check string) "same hash" r.Database.r_hash
+    (Concrete.root_hash stored);
+  (* a second installer with drifted preferences installs the stored spec
+     to the very same configuration, bypassing its own concretizer *)
+  let drifted =
+    Installer.create
+      ~config:
+        (Ospack_config.Config.of_assoc
+           [ ("packages.libelf.version", "0.8.13") ])
+      ~vfs:(Vfs.create ()) ~repo ~compilers ()
+  in
+  match Installer.install drifted stored with
+  | Ok outcomes ->
+      let root = List.nth outcomes (List.length outcomes - 1) in
+      Alcotest.(check string) "identical hash under drifted config"
+        r.Database.r_hash root.Installer.o_record.Database.r_hash
+  | Error e -> Alcotest.failf "drifted install: %s" e
+
+(* §4.4: external (vendor/site) packages are used instead of building *)
+let external_packages () =
+  let vfs = Vfs.create () in
+  let config =
+    Ospack_config.Config.of_assoc
+      [
+        ( "externals.mpich",
+          "mpich@3.0.4 | /opt/vendor/mpich-3.0.4" );
+      ]
+  in
+  let inst = Installer.create ~config ~vfs ~repo ~compilers () in
+  let outcomes =
+    match Installer.install inst (concretize "mpileaks ^mpich") with
+    | Ok o -> o
+    | Error e -> Alcotest.failf "install: %s" e
+  in
+  let mpich_outcome =
+    List.find
+      (fun o -> Concrete.root o.Installer.o_record.Database.r_spec = "mpich")
+      outcomes
+  in
+  let r = mpich_outcome.Installer.o_record in
+  Alcotest.(check bool) "marked external" true r.Database.r_external;
+  Alcotest.(check string) "vendor prefix used" "/opt/vendor/mpich-3.0.4"
+    r.Database.r_prefix;
+  Alcotest.(check bool) "no simulated build time" true
+    (r.Database.r_build_seconds = 0.0);
+  (* vendor artifacts materialized so dependents resolve *)
+  Alcotest.(check bool) "vendor library present" true
+    (Vfs.is_file vfs "/opt/vendor/mpich-3.0.4/lib/libmpich.so");
+  (* the dependent was built against the vendor prefix: its RPATH points
+     there and it runs with an empty environment *)
+  let root =
+    List.find
+      (fun o -> Concrete.root o.Installer.o_record.Database.r_spec = "mpileaks")
+      outcomes
+  in
+  let exe = root.Installer.o_record.Database.r_prefix ^ "/bin/mpileaks" in
+  Alcotest.(check bool) "dependent resolves vendor lib" true
+    (Ospack_buildsim.Loader.can_run vfs ~path:exe
+       ~env:Ospack_buildsim.Env.empty);
+  (* uninstalling the external removes the record but not the vendor tree *)
+  (match Installer.uninstall inst ~hash:root.Installer.o_record.Database.r_hash with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "uninstall root: %s" e);
+  (match Installer.uninstall inst ~hash:r.Database.r_hash with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "uninstall external: %s" e);
+  Alcotest.(check bool) "vendor prefix untouched" true
+    (Vfs.is_dir vfs "/opt/vendor/mpich-3.0.4")
+
+let external_spec_mismatch () =
+  (* the declared external must actually satisfy the concretized node *)
+  let vfs = Vfs.create () in
+  let config =
+    Ospack_config.Config.of_assoc
+      [ ("externals.mpich", "mpich@1.4 | /opt/vendor/old-mpich") ]
+  in
+  let inst = Installer.create ~config ~vfs ~repo ~compilers () in
+  match Installer.install inst (concretize "mpileaks ^mpich") with
+  | Ok outcomes ->
+      let mpich =
+        List.find
+          (fun o ->
+            Concrete.root o.Installer.o_record.Database.r_spec = "mpich")
+          outcomes
+      in
+      Alcotest.(check bool) "built normally (3.0.4 does not match @1.4)" false
+        mpich.Installer.o_record.Database.r_external
+  | Error e -> Alcotest.failf "install: %s" e
+
+let buildcache_roundtrip () =
+  let vfs = Vfs.create () in
+  let cache = Ospack_store.Buildcache.create vfs ~root:"/ospack/buildcache" in
+  (* build once, push everything to the cache *)
+  let builder = Installer.create ~vfs ~repo ~compilers () in
+  (match Installer.install builder (concretize "mpileaks ^mpich") with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "build: %s" e);
+  (match Installer.push_to_cache builder cache with
+  | Ok n -> Alcotest.(check int) "five entries pushed" 5 n
+  | Error e -> Alcotest.failf "push: %s" e);
+  Alcotest.(check int) "cache lists them" 5
+    (List.length (Ospack_store.Buildcache.cached_hashes cache));
+  (* a second store on the same filesystem, DIFFERENT install root,
+     pulls from the cache instead of building *)
+  let puller =
+    Installer.create ~install_root:"/elsewhere/opt" ~cache ~vfs ~repo
+      ~compilers ()
+  in
+  (match Installer.install puller (concretize "mpileaks ^mpich") with
+  | Ok outcomes ->
+      Alcotest.(check bool) "all from cache" true
+        (List.for_all (fun o -> o.Installer.o_cached) outcomes);
+      Alcotest.(check bool) "no simulated build time" true
+        (Installer.total_build_seconds puller = 0.0);
+      (* relocation: the pulled binary's RPATHs point into the NEW root
+         and the binary runs bare *)
+      let root = List.nth outcomes (List.length outcomes - 1) in
+      let prefix = root.Installer.o_record.Database.r_prefix in
+      Alcotest.(check bool) "prefix under the new root" true
+        (Astring.String.is_prefix ~affix:"/elsewhere/opt" prefix);
+      (match Vfs.read_file vfs (prefix ^ "/bin/mpileaks") with
+      | Ok content ->
+          Alcotest.(check bool) "old root scrubbed" false
+            (Astring.String.is_infix ~affix:"/ospack/opt" content);
+          Alcotest.(check bool) "new root embedded" true
+            (Astring.String.is_infix ~affix:"/elsewhere/opt" content)
+      | Error _ -> Alcotest.fail "pulled binary missing");
+      Alcotest.(check bool) "pulled binary runs with empty env" true
+        (Ospack_buildsim.Loader.can_run vfs ~path:(prefix ^ "/bin/mpileaks")
+           ~env:Ospack_buildsim.Env.empty)
+  | Error e -> Alcotest.failf "pull: %s" e);
+  (* relocated pulls still verify clean against their manifests *)
+  (let pulled =
+     List.hd (Database.find_by_name (Installer.database puller) "mpileaks")
+   in
+   match
+     Provenance.verify_manifest vfs ~prefix:pulled.Database.r_prefix
+   with
+   | Ok report ->
+       Alcotest.(check bool) "relocated prefix verifies clean" true
+         (Provenance.report_clean report)
+   | Error e -> Alcotest.failf "verify after pull: %s" e);
+  (* provenance travels with the archive *)
+  let pulled_root =
+    List.hd (Database.find_by_name (Installer.database puller) "mpileaks")
+  in
+  match
+    Provenance.read_spec_json vfs ~prefix:pulled_root.Database.r_prefix
+  with
+  | Ok stored ->
+      Alcotest.(check string) "provenance hash matches"
+        pulled_root.Database.r_hash (Concrete.root_hash stored)
+  | Error e -> Alcotest.failf "provenance after pull: %s" e
+
+let mirror_fetching () =
+  let vfs = Vfs.create () in
+  let mirror = Ospack_buildsim.Mirror.create vfs ~root:"/mirror" in
+  let n = Ospack_buildsim.Mirror.populate mirror repo in
+  Alcotest.(check int) "every declared version mirrored" 6 n;
+  (* builds staged from the mirror verify checksums and log the fetch *)
+  let inst = Installer.create ~mirror ~vfs ~repo ~compilers () in
+  (match Installer.install inst (concretize "libelf") with
+  | Ok outcomes ->
+      let r = (List.hd outcomes).Installer.o_record in
+      (match Provenance.read_log vfs ~prefix:r.Database.r_prefix with
+      | Some log ->
+          Alcotest.(check bool) "fetch logged with verification" true
+            (List.exists
+               (fun l -> Astring.String.is_infix ~affix:"md5 verified" l)
+               log)
+      | None -> Alcotest.fail "no build log")
+  | Error e -> Alcotest.failf "mirrored install: %s" e);
+  (* corrupt an archive: the build fails at staging with a checksum error *)
+  let version = Ospack_version.Version.of_string "8.2" in
+  let path =
+    "/mirror/" ^ Ospack_buildsim.Mirror.archive_rel ~name:"dyninst" ~version
+  in
+  ignore (Vfs.write_file vfs path "TAMPERED");
+  (match Installer.install inst (concretize "dyninst") with
+  | Ok _ -> Alcotest.fail "corrupted archive must fail"
+  | Error e ->
+      Alcotest.(check bool) "checksum mismatch reported" true
+        (Astring.String.is_infix ~affix:"checksum mismatch" e));
+  (* a package missing from the mirror fails too *)
+  ignore (Vfs.remove vfs "/mirror/mpich-3.0.4.tar.gz");
+  match Installer.install inst (concretize "mpich") with
+  | Ok _ -> Alcotest.fail "missing archive must fail"
+  | Error e ->
+      Alcotest.(check bool) "missing archive reported" true
+        (Astring.String.is_infix ~affix:"no archive" e)
+
+let index_persistence () =
+  (* a second installer on the same filesystem picks up the store *)
+  let vfs = Vfs.create () in
+  let first = Installer.create ~vfs ~repo ~compilers () in
+  (match Installer.install first (concretize "mpileaks ^mpich") with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "install: %s" e);
+  Alcotest.(check bool) "index written" true
+    (Vfs.is_file vfs (Installer.index_path first));
+  let second = Installer.create ~vfs ~repo ~compilers () in
+  Alcotest.(check int) "fresh db empty" 0
+    (Database.count (Installer.database second));
+  (match Installer.load_index second with
+  | Ok n -> Alcotest.(check int) "records loaded" 5 n
+  | Error e -> Alcotest.failf "load_index: %s" e);
+  (* and installs through the second installer are pure reuse *)
+  (match Installer.install second (concretize "mpileaks ^mpich") with
+  | Ok outcomes ->
+      Alcotest.(check bool) "everything reused" true
+        (List.for_all (fun o -> o.Installer.o_reused) outcomes)
+  | Error e -> Alcotest.failf "reinstall: %s" e);
+  (* empty filesystem: loading is a clean no-op *)
+  let empty = Installer.create ~vfs:(Vfs.create ()) ~repo ~compilers () in
+  Alcotest.(check (result int string)) "no index yet" (Ok 0)
+    (Installer.load_index empty)
+
+let () =
+  Alcotest.run "store"
+    [
+      ( "database",
+        [
+          Alcotest.test_case "queries" `Quick database_queries;
+          Alcotest.test_case "dependents" `Quick dependents_tracking;
+        ] );
+      ( "installer",
+        [
+          Alcotest.test_case "bottom-up install" `Quick bottom_up_install;
+          Alcotest.test_case "sub-DAG reuse (Fig. 9)" `Quick subdag_reuse;
+          Alcotest.test_case "uninstall safety" `Quick uninstall_safety;
+          Alcotest.test_case "provenance (§3.4.3)" `Quick provenance_content;
+          Alcotest.test_case "spec.json immune to preference drift" `Quick
+            spec_json_survives_drift;
+          Alcotest.test_case "external packages (§4.4)" `Quick
+            external_packages;
+          Alcotest.test_case "external spec mismatch" `Quick
+            external_spec_mismatch;
+          Alcotest.test_case "on-disk index persistence" `Quick
+            index_persistence;
+          Alcotest.test_case "binary cache with relocation" `Quick
+            buildcache_roundtrip;
+          Alcotest.test_case "mirror fetch + checksum verification" `Quick
+            mirror_fetching;
+        ] );
+    ]

@@ -1,0 +1,122 @@
+(* Version semantics (paper §3.2.3): parsing, the total order, and the
+   prefix-based satisfies relation. *)
+
+open Ospack_version
+
+let v = Version.of_string
+
+let parse_cases () =
+  let comps s = Version.components (v s) in
+  Alcotest.(check bool) "1.2.3" true (comps "1.2.3" = Version.[ Num 1; Num 2; Num 3 ]);
+  Alcotest.(check bool) "separators normalize" true
+    (Version.equal (v "1.2-rc1") (v "1.2.rc.1"));
+  Alcotest.(check bool) "alpha split" true
+    (comps "1.2rc1" = Version.[ Num 1; Num 2; Alpha "rc"; Num 1 ]);
+  Alcotest.(check string) "canonical form" "1.2.rc.1" (Version.to_string (v "1.2rc1"));
+  Alcotest.(check bool) "date version" true
+    (comps "20130729" = Version.[ Num 20130729 ])
+
+let parse_errors () =
+  Alcotest.(check (option unit)) "empty" None
+    (Option.map ignore (Version.of_string_opt ""));
+  Alcotest.(check (option unit)) "only dots" None
+    (Option.map ignore (Version.of_string_opt "..."));
+  Alcotest.(check (option unit)) "bad char" None
+    (Option.map ignore (Version.of_string_opt "1.2!"));
+  Alcotest.check_raises "of_string raises"
+    (Invalid_argument "Version.of_string: \"\"") (fun () ->
+      ignore (Version.of_string ""))
+
+let order_cases () =
+  let lt a b =
+    Alcotest.(check bool)
+      (Printf.sprintf "%s < %s" a b)
+      true
+      (Version.compare (v a) (v b) < 0)
+  in
+  lt "1" "2";
+  lt "1.0" "1.1";
+  lt "1.9" "1.10";
+  (* prefix is older *)
+  lt "1.2" "1.2.1";
+  lt "1.2" "1.2.0";
+  (* numeric newer than alphabetic at the same position *)
+  lt "1.2.alpha" "1.2.1";
+  lt "1.2.a" "1.2.b";
+  lt "2.5.6" "2.6"
+
+let prefix_cases () =
+  let is_pfx a b = Version.is_prefix (v a) (v b) in
+  Alcotest.(check bool) "1.2 prefix of 1.2.3" true (is_pfx "1.2" "1.2.3");
+  Alcotest.(check bool) "1.2 prefix of itself" true (is_pfx "1.2" "1.2");
+  Alcotest.(check bool) "1.2 not prefix of 1.20" false (is_pfx "1.2" "1.20");
+  Alcotest.(check bool) "1.2.3 not prefix of 1.2" false (is_pfx "1.2.3" "1.2")
+
+let up_to_cases () =
+  Alcotest.(check string) "major.minor" "1.2" (Version.to_string (Version.up_to 2 (v "1.2.3")));
+  Alcotest.(check string) "keeps at least one" "1" (Version.to_string (Version.up_to 0 (v "1.2")));
+  Alcotest.(check string) "longer than version" "1.2" (Version.to_string (Version.up_to 5 (v "1.2")))
+
+(* generator for plausible version strings *)
+let version_gen =
+  QCheck.Gen.(
+    let component = map string_of_int (int_bound 30) in
+    let alpha = oneofl [ "a"; "b"; "rc"; "alpha"; "beta" ] in
+    let part = oneof [ component; alpha ] in
+    map (String.concat ".") (list_size (int_range 1 5) part))
+
+let arb_version = QCheck.make ~print:(fun s -> s) version_gen
+
+let total_order_antisym =
+  QCheck.Test.make ~name:"compare antisymmetric" ~count:300
+    (QCheck.pair arb_version arb_version)
+    (fun (a, b) ->
+      let x = v a and y = v b in
+      Version.compare x y = -Version.compare y x)
+
+let total_order_trans =
+  QCheck.Test.make ~name:"compare transitive" ~count:300
+    (QCheck.triple arb_version arb_version arb_version)
+    (fun (a, b, c) ->
+      let sorted =
+        List.sort Version.compare [ v a; v b; v c ]
+      in
+      match sorted with
+      | [ x; y; z ] ->
+          Version.compare x y <= 0 && Version.compare y z <= 0
+          && Version.compare x z <= 0
+      | _ -> false)
+
+let roundtrip =
+  QCheck.Test.make ~name:"to_string/of_string round-trip" ~count:300
+    arb_version
+    (fun a ->
+      let x = v a in
+      Version.equal x (v (Version.to_string x)))
+
+let prefix_implies_lte =
+  QCheck.Test.make ~name:"strict prefix is older" ~count:300
+    (QCheck.pair arb_version arb_version)
+    (fun (a, b) ->
+      let x = v a and y = v (a ^ "." ^ b) in
+      Version.is_prefix x y && Version.compare x y <= 0)
+
+let () =
+  Alcotest.run "version"
+    [
+      ( "parse",
+        [
+          Alcotest.test_case "components" `Quick parse_cases;
+          Alcotest.test_case "errors" `Quick parse_errors;
+        ] );
+      ( "order",
+        [
+          Alcotest.test_case "hand-picked order" `Quick order_cases;
+          Alcotest.test_case "prefix relation" `Quick prefix_cases;
+          Alcotest.test_case "up_to" `Quick up_to_cases;
+          QCheck_alcotest.to_alcotest total_order_antisym;
+          QCheck_alcotest.to_alcotest total_order_trans;
+          QCheck_alcotest.to_alcotest roundtrip;
+          QCheck_alcotest.to_alcotest prefix_implies_lte;
+        ] );
+    ]

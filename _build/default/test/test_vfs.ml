@@ -1,0 +1,172 @@
+(* The virtual filesystem: POSIX-ish semantics, symlink resolution, walk,
+   removal, operation counters. *)
+
+open Ospack_vfs
+
+let err = Alcotest.testable Vfs.pp_error ( = )
+
+let vpath_cases () =
+  Alcotest.(check string) "normalize dots" "/a/b" (Vpath.normalize "/a/./b/");
+  Alcotest.(check string) "normalize dotdot" "/a/c" (Vpath.normalize "/a/b/../c");
+  Alcotest.(check string) "dotdot above root" "/x" (Vpath.normalize "/../../x");
+  Alcotest.(check string) "duplicate slashes" "/a/b" (Vpath.normalize "//a///b");
+  Alcotest.(check string) "join relative" "/a/b/c" (Vpath.join "/a/b" "c");
+  Alcotest.(check string) "join absolute" "/c" (Vpath.join "/a/b" "/c");
+  Alcotest.(check string) "join with updir" "/a/c" (Vpath.join "/a/b" "../c");
+  Alcotest.(check string) "dirname" "/a" (Vpath.dirname "/a/b");
+  Alcotest.(check string) "dirname of root" "/" (Vpath.dirname "/");
+  Alcotest.(check string) "basename" "b" (Vpath.basename "/a/b")
+
+let file_roundtrip () =
+  let fs = Vfs.create () in
+  Alcotest.(check (result unit err)) "write" (Ok ())
+    (Vfs.write_file fs "/opt/pkg/lib/libfoo.so" "content");
+  Alcotest.(check (result string err)) "read back" (Ok "content")
+    (Vfs.read_file fs "/opt/pkg/lib/libfoo.so");
+  Alcotest.(check (result unit err)) "overwrite" (Ok ())
+    (Vfs.write_file fs "/opt/pkg/lib/libfoo.so" "v2");
+  Alcotest.(check (result string err)) "overwritten" (Ok "v2")
+    (Vfs.read_file fs "/opt/pkg/lib/libfoo.so");
+  Alcotest.(check bool) "parents created" true (Vfs.is_dir fs "/opt/pkg");
+  Alcotest.(check bool) "missing file" false (Vfs.exists fs "/opt/pkg/nope")
+
+let error_cases () =
+  let fs = Vfs.create () in
+  ignore (Vfs.write_file fs "/a/file" "x");
+  Alcotest.(check (result string err)) "read missing"
+    (Error (Vfs.Not_found "/a/nope"))
+    (Vfs.read_file fs "/a/nope");
+  Alcotest.(check bool) "file in the way of mkdir" true
+    (Result.is_error (Vfs.mkdir_p fs "/a/file/sub"));
+  Alcotest.(check bool) "write through a file component" true
+    (Result.is_error (Vfs.write_file fs "/a/file/sub/x" "y"));
+  Alcotest.(check bool) "read a directory" true
+    (Result.is_error (Vfs.read_file fs "/a"));
+  Alcotest.(check bool) "write over a directory" true
+    (Result.is_error (Vfs.write_file fs "/a" "y"))
+
+let symlink_cases () =
+  let fs = Vfs.create () in
+  ignore (Vfs.write_file fs "/opt/real/bin/tool" "binary");
+  Alcotest.(check (result unit err)) "make link" (Ok ())
+    (Vfs.symlink fs ~target:"/opt/real" ~link:"/views/tool");
+  Alcotest.(check (result string err)) "read through link" (Ok "binary")
+    (Vfs.read_file fs "/views/tool/bin/tool");
+  Alcotest.(check (result string err)) "readlink" (Ok "/opt/real")
+    (Vfs.readlink fs "/views/tool");
+  Alcotest.(check (result string err)) "resolve canonicalizes"
+    (Ok "/opt/real/bin/tool")
+    (Vfs.resolve fs "/views/tool/bin/tool");
+  (* relative link targets resolve against the link's directory *)
+  ignore (Vfs.symlink fs ~target:"real/bin" ~link:"/opt/alias");
+  Alcotest.(check (result string err)) "relative target" (Ok "binary")
+    (Vfs.read_file fs "/opt/alias/tool");
+  (* links may dangle; resolution reports the missing target *)
+  ignore (Vfs.symlink fs ~target:"/nowhere" ~link:"/views/dangling");
+  Alcotest.(check bool) "dangling does not resolve" false
+    (Vfs.exists fs "/views/dangling");
+  Alcotest.(check bool) "kind_of sees the link" true
+    (Vfs.kind_of fs "/views/dangling" = Some Vfs.Symlink);
+  Alcotest.(check bool) "cannot overwrite with a link" true
+    (Result.is_error (Vfs.symlink fs ~target:"/x" ~link:"/views/tool"))
+
+let symlink_loops () =
+  let fs = Vfs.create () in
+  ignore (Vfs.symlink fs ~target:"/b" ~link:"/a");
+  ignore (Vfs.symlink fs ~target:"/a" ~link:"/b");
+  match Vfs.resolve fs "/a" with
+  | Error (Vfs.Symlink_loop _) -> ()
+  | Error e -> Alcotest.failf "expected loop, got %s" (Vfs.error_to_string e)
+  | Ok p -> Alcotest.failf "resolved a loop to %s" p
+
+let ls_and_walk () =
+  let fs = Vfs.create () in
+  ignore (Vfs.write_file fs "/p/bin/tool" "x");
+  ignore (Vfs.write_file fs "/p/lib/libx.so" "y");
+  ignore (Vfs.symlink fs ~target:"/p/lib/libx.so" ~link:"/p/lib/libx.so.1");
+  Alcotest.(check (result (slist string compare) err)) "ls" (Ok [ "bin"; "lib" ])
+    (Vfs.ls fs "/p");
+  let walked = Vfs.walk fs "/p" in
+  Alcotest.(check int) "walk entries" 5 (List.length walked);
+  Alcotest.(check bool) "walk reports symlink kind" true
+    (List.mem ("/p/lib/libx.so.1", Vfs.Symlink) walked);
+  Alcotest.(check int) "walk of a file is empty" 0
+    (List.length (Vfs.walk fs "/p/bin/tool"))
+
+let removal () =
+  let fs = Vfs.create () in
+  ignore (Vfs.write_file fs "/p/a" "1");
+  ignore (Vfs.write_file fs "/p/d/b" "2");
+  Alcotest.(check bool) "refuse non-empty dir" true
+    (Result.is_error (Vfs.remove fs "/p"));
+  Alcotest.(check (result unit err)) "recursive remove" (Ok ())
+    (Vfs.remove fs ~recursive:true "/p");
+  Alcotest.(check bool) "gone" false (Vfs.exists fs "/p");
+  Alcotest.(check bool) "remove missing errors" true
+    (Result.is_error (Vfs.remove fs "/p"));
+  (* removing a symlink leaves its target *)
+  ignore (Vfs.write_file fs "/t/file" "x");
+  ignore (Vfs.symlink fs ~target:"/t/file" ~link:"/l");
+  ignore (Vfs.remove fs "/l");
+  Alcotest.(check bool) "target survives" true (Vfs.exists fs "/t/file")
+
+let counters () =
+  let fs = Vfs.create () in
+  ignore (Vfs.write_file fs "/deep/a/b/c/file" "x");
+  let c = Vfs.counters fs in
+  Alcotest.(check bool) "writes counted" true (c.Vfs.write > 0);
+  Alcotest.(check bool) "mkdirs counted" true (c.Vfs.mkdir >= 4);
+  Alcotest.(check bool) "stats counted" true (c.Vfs.stat > 0);
+  Vfs.reset_counters fs;
+  Alcotest.(check int) "reset" 0 (Vfs.counters fs).Vfs.write
+
+(* property: apply writes in order; the last successful write per path is
+   what reads back *)
+let arb_files =
+  let gen =
+    QCheck.Gen.(
+      list_size (int_range 1 20)
+        (pair
+           (map
+              (fun parts -> "/" ^ String.concat "/" parts)
+              (list_size (int_range 1 4)
+                 (oneofl [ "a"; "b"; "c"; "dir"; "f" ])))
+           (string_size ~gen:printable (int_bound 20))))
+  in
+  QCheck.make gen
+
+let write_read_consistent =
+  QCheck.Test.make ~name:"last write wins for every path" ~count:100 arb_files
+    (fun files ->
+      let fs = Vfs.create () in
+      let applied =
+        List.filter
+          (fun (path, content) ->
+            Result.is_ok (Vfs.write_file fs path content))
+          files
+      in
+      let last = Hashtbl.create 16 in
+      List.iter
+        (fun (path, content) ->
+          Hashtbl.replace last (Vpath.normalize path) content)
+        applied;
+      Hashtbl.fold
+        (fun path content ok -> ok && Vfs.read_file fs path = Ok content)
+        last true)
+
+let () =
+  Alcotest.run "vfs"
+    [
+      ("vpath", [ Alcotest.test_case "path algebra" `Quick vpath_cases ]);
+      ( "vfs",
+        [
+          Alcotest.test_case "file round-trip" `Quick file_roundtrip;
+          Alcotest.test_case "errors" `Quick error_cases;
+          Alcotest.test_case "symlinks" `Quick symlink_cases;
+          Alcotest.test_case "symlink loops" `Quick symlink_loops;
+          Alcotest.test_case "ls and walk" `Quick ls_and_walk;
+          Alcotest.test_case "removal" `Quick removal;
+          Alcotest.test_case "operation counters" `Quick counters;
+          QCheck_alcotest.to_alcotest write_read_consistent;
+        ] );
+    ]

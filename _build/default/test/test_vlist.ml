@@ -1,0 +1,217 @@
+(* Version ranges and lists: the constraint algebra behind @-constraints
+   (paper §3.2.3, Fig. 3). *)
+
+open Ospack_version
+
+let v = Version.of_string
+let vl = Vlist.of_string
+
+let range_membership () =
+  let mem ver body expected =
+    Alcotest.(check bool)
+      (Printf.sprintf "%s in @%s" ver body)
+      expected
+      (Vlist.mem (v ver) (vl body))
+  in
+  (* point constraints admit prefix extensions, like Spack *)
+  mem "1.2" "1.2" true;
+  mem "1.2.3" "1.2" true;
+  mem "1.20" "1.2" false;
+  mem "1.3" "1.2" false;
+  (* ranges are inclusive *)
+  mem "2.3" "2.3:" true;
+  mem "2.2.9" "2.3:" false;
+  mem "99" "2.3:" true;
+  mem "2.5.6" "2.3:2.5.6" true;
+  mem "2.5.6.1" "2.3:2.5.6" true;
+  (* upper bounds are prefix-inclusive: :1.3 admits 1.3.9 *)
+  mem "1.3.9" ":1.3" true;
+  mem "1.4" ":1.3" false;
+  (* unions *)
+  mem "1.1.5" "1.1:1.2,1.6:" true;
+  mem "1.4" "1.1:1.2,1.6:" false;
+  mem "1.7" "1.1:1.2,1.6:" true
+
+let intersection_cases () =
+  let isect a b = Vlist.intersect (vl a) (vl b) in
+  Alcotest.(check bool) "disjoint is empty" true (Vlist.is_empty (isect "1.0:1.5" "2.0:"));
+  Alcotest.(check bool) "overlap nonempty" false (Vlist.is_empty (isect "1.0:2.0" "1.5:3.0"));
+  (* the paper's gerris case: mpi@2: vs provided mpi@:1 must be empty *)
+  Alcotest.(check bool) "gerris case" true (Vlist.is_empty (isect "2:" ":1"));
+  (* prefix subtlety: :1.3 and 1.3.5: share 1.3.5..1.3.x *)
+  let r = isect ":1.3" "1.3.5:" in
+  Alcotest.(check bool) "prefix overlap nonempty" false (Vlist.is_empty r);
+  Alcotest.(check bool) "1.3.7 in it" true (Vlist.mem (v "1.3.7") r);
+  Alcotest.(check bool) "1.4 not in it" false (Vlist.mem (v "1.4") r)
+
+let subset_cases () =
+  let sub a b = Vlist.subset (vl a) (vl b) in
+  Alcotest.(check bool) "narrow in wide" true (sub "1.2:1.4" "1.0:2.0");
+  Alcotest.(check bool) "wide not in narrow" false (sub "1.0:2.0" "1.2:1.4");
+  Alcotest.(check bool) "any includes point" true (Vlist.subset (vl "1.2") Vlist.any);
+  Alcotest.(check bool) "finer hi bound" true (sub ":1.3.5" ":1.3");
+  Alcotest.(check bool) "coarser hi bound" false (sub ":1.3" ":1.3.5");
+  Alcotest.(check bool) "union member" true (sub "1.1" "1.0:1.5,2.0:")
+
+let concreteness () =
+  Alcotest.(check (option string)) "point is concrete" (Some "1.2")
+    (Option.map Version.to_string (Vlist.concrete (vl "1.2")));
+  Alcotest.(check (option string)) "range is not" None
+    (Option.map Version.to_string (Vlist.concrete (vl "1.2:1.4")));
+  Alcotest.(check (option string)) "any is not" None
+    (Option.map Version.to_string (Vlist.concrete Vlist.any))
+
+let printing () =
+  let rt s = Vlist.to_string (vl s) in
+  Alcotest.(check string) "point" "1.2" (rt "1.2");
+  Alcotest.(check string) "range" "1.2:1.4" (rt "1.2:1.4");
+  Alcotest.(check string) "open low" ":1.4" (rt ":1.4");
+  Alcotest.(check string) "open high" "1.2:" (rt "1.2:");
+  Alcotest.(check string) "merges overlap" "1.0:2.0" (rt "1.0:1.5,1.2:2.0");
+  Alcotest.(check string) "keeps disjoint" "1.0:1.5,2.0:2.5" (rt "2.0:2.5,1.0:1.5")
+
+let compare_sup_cases () =
+  Alcotest.(check bool) "unbounded greatest" true
+    (Vlist.compare_sup (vl "1.0:") (vl ":9999") > 0);
+  Alcotest.(check bool) "higher endpoint" true
+    (Vlist.compare_sup (vl ":3") (vl ":2.2") > 0);
+  Alcotest.(check bool) "empty least" true
+    (Vlist.compare_sup Vlist.empty (vl "1.0") < 0)
+
+(* --- Vrange directly --- *)
+
+let vrange_membership () =
+  let open Ospack_version.Vrange in
+  Alcotest.(check bool) "unbounded matches anything" true
+    (mem (v "0.0.1") unbounded && mem (v "999") unbounded);
+  Alcotest.(check bool) "empty range detected" true
+    (is_empty (range (Some (v "2.0")) (Some (v "1.0"))));
+  (* [1.3.5 : 1.3] is nonempty under prefix-inclusive upper bounds *)
+  Alcotest.(check bool) "inverted-looking prefix range nonempty" false
+    (is_empty (range (Some (v "1.3.5")) (Some (v "1.3"))));
+  Alcotest.(check bool) "point is never empty" false
+    (is_empty (point (v "1.0")))
+
+let vrange_union () =
+  let open Ospack_version.Vrange in
+  (match
+     union_if_overlapping
+       (range (Some (v "1.0")) (Some (v "2.0")))
+       (range (Some (v "1.5")) (Some (v "3.0")))
+   with
+  | Some u ->
+      Alcotest.(check string) "union spans both" "1.0:3.0" (to_string u)
+  | None -> Alcotest.fail "overlap expected");
+  Alcotest.(check bool) "disjoint stays separate" true
+    (union_if_overlapping
+       (range (Some (v "1.0")) (Some (v "1.5")))
+       (range (Some (v "2.0")) None)
+    = None);
+  (* union with an unbounded side *)
+  match
+    union_if_overlapping (range (Some (v "1.0")) None) (point (v "2.0"))
+  with
+  | Some u -> Alcotest.(check string) "open end kept" "1.0:" (to_string u)
+  | None -> Alcotest.fail "overlap expected"
+
+let vrange_printing () =
+  let open Ospack_version.Vrange in
+  Alcotest.(check string) "point" "1.2" (to_string (point (v "1.2")));
+  Alcotest.(check string) "full" ":" (to_string unbounded);
+  Alcotest.(check string) "degenerate range normalizes to point" "1.2"
+    (to_string
+       (match intersect (point (v "1.2")) unbounded with
+       | Some r -> r
+       | None -> Alcotest.fail "nonempty"))
+
+(* --- properties --- *)
+
+let version_gen =
+  QCheck.Gen.(
+    map (String.concat ".")
+      (list_size (int_range 1 3) (map string_of_int (int_bound 12))))
+
+let range_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun s -> s) version_gen;
+        map2 (fun a b -> a ^ ":" ^ b) version_gen version_gen;
+        map (fun s -> s ^ ":") version_gen;
+        map (fun s -> ":" ^ s) version_gen;
+      ])
+
+let vlist_gen =
+  QCheck.Gen.(map (String.concat ",") (list_size (int_range 1 3) range_gen))
+
+let arb_vlist =
+  QCheck.make ~print:(fun s -> s) vlist_gen
+
+let arb_ver = QCheck.make ~print:(fun s -> s) version_gen
+
+let intersect_sound =
+  QCheck.Test.make ~name:"mem (intersect a b) = mem a && mem b" ~count:500
+    (QCheck.triple arb_vlist arb_vlist arb_ver)
+    (fun (a, b, x) ->
+      let la = vl a and lb = vl b and ver = v x in
+      Vlist.mem ver (Vlist.intersect la lb)
+      = (Vlist.mem ver la && Vlist.mem ver lb))
+
+let union_sound =
+  QCheck.Test.make ~name:"mem (union a b) = mem a || mem b" ~count:500
+    (QCheck.triple arb_vlist arb_vlist arb_ver)
+    (fun (a, b, x) ->
+      let la = vl a and lb = vl b and ver = v x in
+      Vlist.mem ver (Vlist.union la lb)
+      = (Vlist.mem ver la || Vlist.mem ver lb))
+
+let subset_sound =
+  QCheck.Test.make ~name:"subset a b && mem a x => mem b x" ~count:500
+    (QCheck.triple arb_vlist arb_vlist arb_ver)
+    (fun (a, b, x) ->
+      let la = vl a and lb = vl b and ver = v x in
+      (not (Vlist.subset la lb)) || (not (Vlist.mem ver la)) || Vlist.mem ver lb)
+
+let intersect_commutes =
+  QCheck.Test.make ~name:"intersect commutative" ~count:300
+    (QCheck.pair arb_vlist arb_vlist)
+    (fun (a, b) ->
+      Vlist.equal (Vlist.intersect (vl a) (vl b)) (Vlist.intersect (vl b) (vl a)))
+
+let intersect_idempotent =
+  QCheck.Test.make ~name:"intersect idempotent" ~count:300 arb_vlist
+    (fun a -> Vlist.equal (vl a) (Vlist.intersect (vl a) (vl a)))
+
+let any_identity =
+  QCheck.Test.make ~name:"any is identity for intersect" ~count:300 arb_vlist
+    (fun a -> Vlist.equal (vl a) (Vlist.intersect (vl a) Vlist.any))
+
+let () =
+  Alcotest.run "vlist"
+    [
+      ( "semantics",
+        [
+          Alcotest.test_case "membership" `Quick range_membership;
+          Alcotest.test_case "intersection" `Quick intersection_cases;
+          Alcotest.test_case "subset" `Quick subset_cases;
+          Alcotest.test_case "concreteness" `Quick concreteness;
+          Alcotest.test_case "printing" `Quick printing;
+          Alcotest.test_case "compare_sup" `Quick compare_sup_cases;
+        ] );
+      ( "vrange",
+        [
+          Alcotest.test_case "membership and emptiness" `Quick
+            vrange_membership;
+          Alcotest.test_case "union" `Quick vrange_union;
+          Alcotest.test_case "printing" `Quick vrange_printing;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest intersect_sound;
+          QCheck_alcotest.to_alcotest union_sound;
+          QCheck_alcotest.to_alcotest subset_sound;
+          QCheck_alcotest.to_alcotest intersect_commutes;
+          QCheck_alcotest.to_alcotest intersect_idempotent;
+          QCheck_alcotest.to_alcotest any_identity;
+        ] );
+    ]
