@@ -1,0 +1,26 @@
+#!/bin/sh
+# Tier-1 gate: full build, full test suite, and the no-committed-artifacts
+# invariant, in one command (see README "CI").
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "== dune build @all"
+dune build @all 2>&1
+
+echo "== dune runtest"
+dune runtest
+
+echo "== checking for stray _build files in git"
+# nothing under _build/ may be tracked, and none may appear in git status
+# (deletions are fine — that is _build being purged, not committed)
+stray=$( { git ls-files _build;
+           git status --porcelain -- _build | grep -v '^ \?D' | awk '{print $2}'; } \
+         | sort -u )
+if [ -n "$stray" ]; then
+    echo "error: _build/ artifacts visible to git (is .gitignore intact?):" >&2
+    echo "$stray" | head >&2
+    exit 1
+fi
+
+echo "OK"

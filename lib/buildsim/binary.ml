@@ -1,0 +1,78 @@
+type kind = Exe | Lib
+
+type t = {
+  b_kind : kind;
+  b_soname : string;
+  b_needed : string list;
+  b_rpaths : string list;
+}
+
+let magic = "!ospack-binary 1"
+
+let make ~kind ~soname ~needed ~rpaths =
+  { b_kind = kind; b_soname = soname; b_needed = needed; b_rpaths = rpaths }
+
+let kind_to_string = function Exe -> "exe" | Lib -> "lib"
+
+let serialize t =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf magic;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf ("kind " ^ kind_to_string t.b_kind ^ "\n");
+  Buffer.add_string buf ("soname " ^ t.b_soname ^ "\n");
+  List.iter (fun n -> Buffer.add_string buf ("needed " ^ n ^ "\n")) t.b_needed;
+  List.iter (fun r -> Buffer.add_string buf ("rpath " ^ r ^ "\n")) t.b_rpaths;
+  Buffer.contents buf
+
+let parse content =
+  let lines =
+    String.split_on_char '\n' content |> List.filter (fun l -> l <> "")
+  in
+  match lines with
+  | m :: fields when m = magic ->
+      let kind = ref None
+      and soname = ref None
+      and needed = ref []
+      and rpaths = ref []
+      and err = ref None in
+      List.iter
+        (fun line ->
+          if !err = None then
+            match String.index_opt line ' ' with
+            | None -> err := Some ("malformed field: " ^ line)
+            | Some i -> (
+                let key = String.sub line 0 i in
+                let value =
+                  String.sub line (i + 1) (String.length line - i - 1)
+                in
+                match key with
+                | "kind" -> (
+                    match value with
+                    | "exe" -> kind := Some Exe
+                    | "lib" -> kind := Some Lib
+                    | k -> err := Some ("unknown binary kind: " ^ k))
+                | "soname" -> soname := Some value
+                | "needed" -> needed := value :: !needed
+                | "rpath" -> rpaths := value :: !rpaths
+                | k -> err := Some ("unknown field: " ^ k)))
+        fields;
+      (match (!err, !kind, !soname) with
+      | Some e, _, _ -> Error e
+      | None, None, _ -> Error "missing kind field"
+      | None, _, None -> Error "missing soname field"
+      | None, Some kind, Some soname ->
+          Ok
+            {
+              b_kind = kind;
+              b_soname = soname;
+              b_needed = List.rev !needed;
+              b_rpaths = List.rev !rpaths;
+            })
+  | _ -> Error "not an ospack binary (missing magic line)"
+
+let soname_for_package name =
+  let prefixed =
+    if String.length name >= 3 && String.sub name 0 3 = "lib" then name
+    else "lib" ^ name
+  in
+  prefixed ^ ".so"

@@ -1,0 +1,33 @@
+(** The simulated binary format.
+
+    A "binary" in the virtual filesystem is a small text file carrying
+    exactly the ELF dynamic-section fields the paper's claims depend
+    on: the soname, the NEEDED list, and the RPATH — enough for
+    {!Loader} to model [ld.so] and for the buildcache's textual
+    prefix relocation to retarget RPATHs on extraction. *)
+
+type kind = Exe | Lib
+
+type t = {
+  b_kind : kind;
+  b_soname : string;  (** for an executable, its program name *)
+  b_needed : string list;  (** DT_NEEDED: sonames of direct deps *)
+  b_rpaths : string list;  (** DT_RPATH: search dirs burned in at link *)
+}
+
+val make :
+  kind:kind -> soname:string -> needed:string list -> rpaths:string list -> t
+
+val serialize : t -> string
+(** A line-oriented rendering with a magic first line; RPATH entries
+    appear verbatim so prefix relocation works by plain text
+    substitution. *)
+
+val parse : string -> (t, string) result
+(** Inverts {!serialize} exactly; content without the magic line (or
+    with malformed fields) is rejected. *)
+
+val soname_for_package : string -> string
+(** The soname convention used throughout the simulator:
+    [lib<name>.so], keeping an existing [lib] prefix
+    ([soname_for_package "libelf" = "libelf.so"]). *)

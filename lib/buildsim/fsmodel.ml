@@ -1,0 +1,8 @@
+type t = { fs_name : string; fs_meta_seconds : float }
+
+let tmpfs = { fs_name = "tmpfs"; fs_meta_seconds = 0.0002 }
+let nfs = { fs_name = "nfs"; fs_meta_seconds = 0.002 }
+
+let pp ppf t =
+  Format.fprintf ppf "%s (%.1f ms/metadata op)" t.fs_name
+    (1000.0 *. t.fs_meta_seconds)

@@ -1,0 +1,26 @@
+(** Filesystem cost models for the build simulator (paper §3.5.3).
+
+    The paper's Fig. 10 compares builds staged on NFS against builds
+    staged on node-local tmp. The difference is almost entirely
+    metadata latency: configure probes, header opens, and install-time
+    file creation each pay one small-operation round trip. A model is
+    just a name and that per-operation latency; the builder multiplies
+    it by the operation counts of the package's {!Ospack_package.Build_model}. *)
+
+type t = {
+  fs_name : string;  (** ["tmpfs"] or ["nfs"] — shown in logs *)
+  fs_meta_seconds : float;
+      (** simulated latency of one metadata operation (stat, open,
+          create, byte-compile write) *)
+}
+
+val tmpfs : t
+(** Node-local temporary storage: metadata ops are essentially free
+    (0.2 ms). *)
+
+val nfs : t
+(** Parallel/network filesystem: each metadata op pays a network round
+    trip (2 ms) — an order of magnitude over {!tmpfs}, matching the
+    overhead band of the paper's Fig. 11. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,70 @@
+module Vfs = Ospack_vfs.Vfs
+
+type failure = {
+  f_missing : string;
+  f_needed_by : string;
+  f_searched : string list;
+}
+
+let failure_to_string f =
+  Printf.sprintf "%s: cannot open shared object file %s (searched: %s)"
+    f.f_needed_by f.f_missing
+    (String.concat ", " f.f_searched)
+
+let system_dirs = [ "/lib"; "/usr/lib" ]
+
+let read_binary vfs path =
+  match Vfs.read_file vfs path with
+  | Error _ -> Error ("no such binary: " ^ path)
+  | Ok content -> Binary.parse content
+
+let resolve vfs ~path ~env =
+  let ld_dirs = Env.path_list env "LD_LIBRARY_PATH" in
+  match read_binary vfs path with
+  | Error _ ->
+      Error { f_missing = path; f_needed_by = path; f_searched = [] }
+  | Ok root ->
+      let resolved = ref [] in
+      let visited = Hashtbl.create 16 in
+      (* depth-first over NEEDED; each object's own RPATH applies to its
+         own entries (per-object DT_RPATH), then the process-wide
+         LD_LIBRARY_PATH, then the trusted system directories *)
+      let rec load (requester : Binary.t) =
+        let search = requester.Binary.b_rpaths @ ld_dirs @ system_dirs in
+        let rec needed_one = function
+          | [] -> Ok ()
+          | soname :: rest ->
+              if Hashtbl.mem visited soname then needed_one rest
+              else begin
+                Hashtbl.add visited soname ();
+                match
+                  List.find_map
+                    (fun dir ->
+                      let candidate = dir ^ "/" ^ soname in
+                      match read_binary vfs candidate with
+                      | Ok b when b.Binary.b_soname = soname ->
+                          Some (candidate, b)
+                      | Ok _ | Error _ -> None)
+                    search
+                with
+                | None ->
+                    Error
+                      {
+                        f_missing = soname;
+                        f_needed_by = requester.Binary.b_soname;
+                        f_searched = search;
+                      }
+                | Some (lib_path, lib) -> (
+                    resolved := (soname, lib_path) :: !resolved;
+                    match load lib with
+                    | Error _ as e -> e
+                    | Ok () -> needed_one rest)
+              end
+        in
+        needed_one requester.Binary.b_needed
+      in
+      (match load root with
+      | Error f -> Error f
+      | Ok () -> Ok (List.rev !resolved))
+
+let can_run vfs ~path ~env = Result.is_ok (resolve vfs ~path ~env)

@@ -1,0 +1,62 @@
+module Vfs = Ospack_vfs.Vfs
+module Md5 = Ospack_hash.Md5
+module Version = Ospack_version.Version
+module Repository = Ospack_package.Repository
+module Package = Ospack_package.Package
+
+type t = { vfs : Vfs.t; root : string }
+
+let create vfs ~root = { vfs; root }
+let root t = t.root
+
+let archive_rel ~name ~version =
+  Printf.sprintf "%s-%s.tar.gz" name (Version.to_string version)
+
+let archive_content ~name ~version =
+  Printf.sprintf "source archive: %s %s\n" name (Version.to_string version)
+
+let archive_path t ~name ~version = t.root ^ "/" ^ archive_rel ~name ~version
+
+(* checksums live in a sidecar next to each archive, the way real mirrors
+   publish <archive>.md5 files *)
+let checksum_path t ~name ~version = archive_path t ~name ~version ^ ".md5"
+
+let write_exn t path content =
+  match Vfs.write_file t.vfs path content with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Mirror: " ^ Vfs.error_to_string e)
+
+let add t ~name ~version =
+  let content = archive_content ~name ~version in
+  write_exn t (archive_path t ~name ~version) content;
+  write_exn t (checksum_path t ~name ~version) (Md5.hex_digest content)
+
+let populate t repo =
+  List.fold_left
+    (fun count pkg ->
+      List.fold_left
+        (fun count version ->
+          add t ~name:pkg.Package.p_name ~version;
+          count + 1)
+        count
+        (Package.known_versions pkg))
+    0
+    (Repository.all_packages repo)
+
+let fetch t ~name ~version =
+  let rel = archive_rel ~name ~version in
+  match Vfs.read_file t.vfs (archive_path t ~name ~version) with
+  | Error _ ->
+      Error
+        (Printf.sprintf "no archive %s for %s@%s in mirror %s" rel name
+           (Version.to_string version) t.root)
+  | Ok content -> (
+      match Vfs.read_file t.vfs (checksum_path t ~name ~version) with
+      | Error _ -> Error (Printf.sprintf "no archive checksum for %s" rel)
+      | Ok expected ->
+          let actual = Md5.hex_digest content in
+          if actual = expected then Ok (content, actual)
+          else
+            Error
+              (Printf.sprintf "checksum mismatch for %s: expected %s, got %s"
+                 rel expected actual))

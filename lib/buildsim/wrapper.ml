@@ -1,0 +1,60 @@
+module Compilers = Ospack_config.Compilers
+
+type lang = C | Cxx | F77 | Fc
+type mode = Compile | Link
+
+let driver_name (tc : Compilers.toolchain) = function
+  | C -> tc.Compilers.tc_cc
+  | Cxx -> tc.Compilers.tc_cxx
+  | F77 -> tc.Compilers.tc_f77
+  | Fc -> tc.Compilers.tc_fc
+
+let rewrite ~toolchain ~lang ~mode ~dep_prefixes argv =
+  let injected =
+    List.concat_map
+      (fun prefix ->
+        match mode with
+        | Compile -> [ "-I"; prefix ^ "/include" ]
+        | Link ->
+            let lib = prefix ^ "/lib" in
+            [ "-L" ^ lib; "-Wl,-rpath," ^ lib ])
+      dep_prefixes
+  in
+  (driver_name toolchain lang :: injected) @ argv
+
+let rpaths_of_argv argv =
+  let strip_prefix ~prefix s =
+    let pl = String.length prefix in
+    if String.length s >= pl && String.sub s 0 pl = prefix then
+      Some (String.sub s pl (String.length s - pl))
+    else None
+  in
+  let rec collect acc = function
+    | [] -> List.rev acc
+    | arg :: rest -> (
+        match strip_prefix ~prefix:"-Wl,-rpath," arg with
+        | Some dir -> collect (dir :: acc) rest
+        | None -> (
+            match arg with
+            | "-Wl,-rpath" | "-rpath" -> (
+                (* split form: the directory is the next argument, itself
+                   possibly wrapped for the linker *)
+                match rest with
+                | [] -> List.rev acc
+                | next :: rest' ->
+                    let dir =
+                      match strip_prefix ~prefix:"-Wl," next with
+                      | Some d -> d
+                      | None -> next
+                    in
+                    collect (dir :: acc) rest')
+            | _ -> collect acc rest))
+  in
+  let seen = Hashtbl.create 8 in
+  collect [] argv
+  |> List.filter (fun d ->
+         if Hashtbl.mem seen d then false
+         else begin
+           Hashtbl.add seen d ();
+           true
+         end)

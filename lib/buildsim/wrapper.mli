@@ -1,0 +1,37 @@
+(** Compiler wrapper argv rewriting (paper §3.5.2).
+
+    Spack puts wrapper scripts named [cc], [cxx], [f77], [fc] in the
+    build [PATH]; each forwards to the real vendor driver after adding
+    [-I]/[-L] flags for every dependency prefix and [-Wl,-rpath] flags
+    so the resulting binary finds its libraries with no environment at
+    all (the paper's claim 2). This module is the pure rewriting core:
+    a wrapper invocation maps an argv to the argv actually executed. *)
+
+type lang = C | Cxx | F77 | Fc
+
+type mode =
+  | Compile  (** producing an object: header paths only *)
+  | Link  (** producing an executable or library: lib paths + rpaths *)
+
+val driver_name : Ospack_config.Compilers.toolchain -> lang -> string
+(** The real driver the wrapper execs, e.g. [gcc]/[g++]/[gfortran] for
+    the gcc toolchain, [xlf]/[xlf90] for xl Fortran. *)
+
+val rewrite :
+  toolchain:Ospack_config.Compilers.toolchain ->
+  lang:lang ->
+  mode:mode ->
+  dep_prefixes:string list ->
+  string list ->
+  string list
+(** [rewrite ~toolchain ~lang ~mode ~dep_prefixes argv] is the command
+    actually executed: the real driver, the injected dependency flags
+    ([-I <prefix>/include] when compiling; [-L<prefix>/lib] and
+    [-Wl,-rpath,<prefix>/lib] when linking), then the caller's [argv]
+    unchanged. *)
+
+val rpaths_of_argv : string list -> string list
+(** RPATH directories requested by an argv, in order and without
+    duplicates. Understands the combined [-Wl,-rpath,/dir] form, the
+    split [-Wl,-rpath -Wl,/dir] form, and plain [-rpath /dir] as passed
+    to some vendor linkers. *)

@@ -49,6 +49,21 @@ let env_paths () =
   Alcotest.(check (list string)) "prepend order" [ "/a"; "/b" ]
     (Env.path_list e "X")
 
+let env_no_deps () =
+  (* a leaf package builds in an environment with no dependency paths *)
+  let env =
+    Env.for_build ~dep_prefixes:[] ~wrapper_dir:"/w"
+      ~base:(Env.of_assoc [ ("PATH", "/usr/bin") ])
+  in
+  Alcotest.(check (option string)) "CC still the wrapper" (Some "/w/cc")
+    (Env.get env "CC");
+  Alcotest.(check (list string)) "PATH is just the base" [ "/usr/bin" ]
+    (Env.path_list env "PATH");
+  Alcotest.(check (list string)) "no LD_LIBRARY_PATH" []
+    (Env.path_list env "LD_LIBRARY_PATH");
+  Alcotest.(check (list string)) "no CMAKE_PREFIX_PATH" []
+    (Env.path_list env "CMAKE_PREFIX_PATH")
+
 (* --- wrappers (§3.5.2) --- *)
 
 let wrapper_rewrite () =
@@ -73,6 +88,22 @@ let wrapper_rewrite () =
   Alcotest.(check (list string)) "rpaths extracted in order"
     [ "/opt/libelf/lib"; "/opt/zlib/lib" ]
     (Wrapper.rpaths_of_argv link)
+
+let wrapper_rpath_forms () =
+  (* the combined -Wl,-rpath,/dir form *)
+  Alcotest.(check (list string)) "comma form" [ "/a/lib" ]
+    (Wrapper.rpaths_of_argv [ "gcc"; "-Wl,-rpath,/a/lib"; "-o"; "x" ]);
+  (* the split -Wl,-rpath -Wl,/dir form some build systems emit *)
+  Alcotest.(check (list string)) "split form" [ "/b/lib" ]
+    (Wrapper.rpaths_of_argv [ "gcc"; "-Wl,-rpath"; "-Wl,/b/lib"; "-o"; "x" ]);
+  (* both forms mixed in one command line, order preserved, no dupes *)
+  Alcotest.(check (list string)) "mixed forms in order"
+    [ "/a/lib"; "/b/lib" ]
+    (Wrapper.rpaths_of_argv
+       [
+         "gcc"; "-Wl,-rpath,/a/lib"; "-Wl,-rpath"; "-Wl,/b/lib";
+         "-Wl,-rpath,/a/lib"; "foo.o";
+       ])
 
 (* --- binaries --- *)
 
@@ -187,6 +218,17 @@ let loader_circular_needed () =
   | Ok libs ->
       Alcotest.(check int) "each resolved once" 2 (List.length libs)
   | Error f -> Alcotest.failf "unexpected: %s" (Loader.failure_to_string f)
+
+let loader_no_needed () =
+  (* a static-style executable with an empty NEEDED list always runs *)
+  let vfs = Vfs.create () in
+  write_binary vfs "/opt/static/bin/tool"
+    (Binary.make ~kind:Binary.Exe ~soname:"tool" ~needed:[] ~rpaths:[]);
+  (match Loader.resolve vfs ~path:"/opt/static/bin/tool" ~env:Env.empty with
+  | Ok libs -> Alcotest.(check int) "closure is empty" 0 (List.length libs)
+  | Error f -> Alcotest.failf "unexpected: %s" (Loader.failure_to_string f));
+  Alcotest.(check bool) "runs with empty env" true
+    (Loader.can_run vfs ~path:"/opt/static/bin/tool" ~env:Env.empty)
 
 (* --- building (§3.5.3) --- *)
 
@@ -519,9 +561,13 @@ let () =
         [
           Alcotest.test_case "isolation (§3.5.1)" `Quick env_isolation;
           Alcotest.test_case "path variables" `Quick env_paths;
+          Alcotest.test_case "no dependencies" `Quick env_no_deps;
         ] );
       ( "wrapper",
-        [ Alcotest.test_case "argv rewriting (§3.5.2)" `Quick wrapper_rewrite ] );
+        [
+          Alcotest.test_case "argv rewriting (§3.5.2)" `Quick wrapper_rewrite;
+          Alcotest.test_case "rpath flag forms" `Quick wrapper_rpath_forms;
+        ] );
       ( "binary",
         [
           Alcotest.test_case "serialization" `Quick binary_roundtrip;
@@ -534,6 +580,7 @@ let () =
             loader_transitive_and_missing;
           Alcotest.test_case "circular NEEDED terminates" `Quick
             loader_circular_needed;
+          Alcotest.test_case "empty NEEDED" `Quick loader_no_needed;
         ] );
       ( "builder",
         [
