@@ -507,7 +507,94 @@ let micro () =
 
 (* ------------------------------------------------------------------ *)
 
-let () =
+(* `main.exe obs [PATH]` — the per-phase observability mode: rebuild the
+   Fig. 10/11 workloads under an enabled recording sink and write where
+   the virtual time went (phases, counters) per package x filesystem x
+   wrappers cell. Each cell also re-runs uninstrumented and asserts the
+   simulated build time is bit-identical — instrumentation must not
+   perturb the cost model. *)
+let obs_mode path =
+  let module Obs = Ospack_obs.Obs in
+  let module Json = Ospack_json.Json in
+  let repo = Universe.repository () in
+  let build name fs use_wrappers ~obs =
+    let cctx =
+      Concretizer.make_ctx ~config:Universe.default_config ~obs
+        ~compilers:Universe.compilers repo
+    in
+    match
+      Obs.span obs ~cat:"concretize" "concretize" (fun () ->
+          Concretizer.concretize_string cctx name)
+    with
+    | Error e -> failwith (name ^ ": " ^ e)
+    | Ok spec -> (
+        let inst =
+          Installer.create ~fs ~use_wrappers ~obs ~vfs:(Vfs.create ()) ~repo
+            ~compilers:Universe.compilers ()
+        in
+        match
+          Obs.span obs ~cat:"install" "install" (fun () ->
+              Installer.install inst spec)
+        with
+        | Ok outcomes ->
+            let root = List.nth outcomes (List.length outcomes - 1) in
+            root.Installer.o_record.Database.r_build_seconds
+        | Error e -> failwith (name ^ ": " ^ e))
+  in
+  let workload name fs fs_name use_wrappers =
+    let obs = Obs.create () in
+    let seconds = build name fs use_wrappers ~obs in
+    let plain = build name fs use_wrappers ~obs:Obs.disabled in
+    if plain <> seconds then
+      failwith
+        (Printf.sprintf "%s on %s: instrumentation perturbed br_time (%f vs %f)"
+           name fs_name seconds plain);
+    Json.Obj
+      [
+        ("package", Json.String name);
+        ("fs", Json.String fs_name);
+        ("wrappers", Json.Bool use_wrappers);
+        ("build_seconds", Json.Float seconds);
+        ( "phases",
+          Json.List
+            (List.map
+               (fun (r : Obs.phase_row) ->
+                 Json.Obj
+                   [
+                     ("name", Json.String r.Obs.ph_name);
+                     ("count", Json.Int r.Obs.ph_count);
+                     ("total_seconds", Json.Float r.Obs.ph_total);
+                     ("self_seconds", Json.Float r.Obs.ph_self);
+                   ])
+               (Obs.phase_rows obs)) );
+        ( "counters",
+          Json.Obj
+            (List.map (fun (k, v) -> (k, Json.Int v)) (Obs.counters obs)) );
+      ]
+  in
+  let workloads =
+    List.concat_map
+      (fun (name, _, _) ->
+        [
+          workload name Fsmodel.nfs "nfs" true;
+          workload name Fsmodel.tmpfs "tmpfs" true;
+          workload name Fsmodel.tmpfs "tmpfs" false;
+        ])
+      fig10_packages
+  in
+  let doc =
+    Json.Obj [ ("format", Json.Int 1); ("workloads", Json.List workloads) ]
+  in
+  let oc = open_out path in
+  output_string oc (Json.to_string ~indent:2 doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %d workloads (%d packages x 3 configurations) to %s\n"
+    (List.length workloads)
+    (List.length fig10_packages)
+    path
+
+let default_run () =
   Printf.printf
     "ospack benchmark harness — reproduces every table and figure of the \
      Spack SC'15 evaluation\n";
@@ -523,3 +610,9 @@ let () =
   ablation ();
   micro ();
   print_newline ()
+
+let () =
+  match Sys.argv with
+  | [| _; "obs" |] -> obs_mode "BENCH_obs.json"
+  | [| _; "obs"; path |] -> obs_mode path
+  | _ -> default_run ()

@@ -6,6 +6,8 @@ open Cmdliner
 module Concrete = Ospack_spec.Concrete
 module Database = Ospack_store.Database
 module Installer = Ospack_store.Installer
+module Obs = Ospack_obs.Obs
+module Json = Ospack_json.Json
 
 (* a real-filesystem site configuration file, layered over the defaults
    when present (e.g. providers.mpi, compiler_order, externals entries) *)
@@ -21,13 +23,15 @@ let config_from_file path =
            [ cfg; Ospack_repo.Universe.default_config ])
   | Error e -> Error (Printf.sprintf "%s: %s" path e)
 
-let make_ctx ?config_file () =
+let make_ctx ?config_file ?obs () =
   match config_file with
-  | None -> Ok (Ospack.Context.create ~cache_root:"/ospack/buildcache" ())
+  | None ->
+      Ok (Ospack.Context.create ~cache_root:"/ospack/buildcache" ?obs ())
   | Some path ->
       Result.map
         (fun config ->
-          Ospack.Context.create ~config ~cache_root:"/ospack/buildcache" ())
+          Ospack.Context.create ~config ~cache_root:"/ospack/buildcache" ?obs
+            ())
         (config_from_file path)
 
 let ctx = lazy (Ospack.Context.create ~cache_root:"/ospack/buildcache" ())
@@ -55,7 +59,15 @@ let print_outcomes outcomes =
         (Printf.sprintf "%s/%s -> %s"
            (Concrete.node_to_string (Concrete.root_node r.Database.r_spec))
            r.Database.r_hash r.Database.r_prefix))
-    outcomes
+    outcomes;
+  Format.printf "==> %s@."
+    (Installer.summary_to_string (Installer.summary_of_outcomes outcomes))
+
+let write_trace obs path =
+  let oc = open_out path in
+  output_string oc (Json.to_string ~indent:2 (Obs.to_chrome_trace obs));
+  output_char oc '\n';
+  close_out oc
 
 let install_cmd =
   let backtrack =
@@ -64,19 +76,47 @@ let install_cmd =
       & info [ "backtrack" ]
           ~doc:"Fall back to the backtracking solver on greedy conflicts.")
   in
-  let run backtrack parts =
-    let ctx = Lazy.force ctx in
+  let trace =
+    Arg.(
+      value & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Record a Chrome trace-event file (chrome://tracing) of the \
+             install: nested spans for concretization iterations and \
+             per-node stage/configure/compile/link/install phases, over \
+             the deterministic virtual clock.")
+  in
+  let timings =
+    Arg.(
+      value & flag
+      & info [ "timings" ]
+          ~doc:"Print a per-phase timing table after the install.")
+  in
+  let run backtrack trace timings parts =
+    let recording = trace <> None || timings in
+    let obs = if recording then Obs.create () else Obs.disabled in
+    let ctx =
+      if recording then
+        Ospack.Context.create ~cache_root:"/ospack/buildcache" ~obs ()
+      else Lazy.force ctx
+    in
     match Ospack.install ~backtrack ctx (join_spec parts) with
     | Ok report ->
         Format.printf "==> concretized:@.%s@."
           (Concrete.tree_string report.Ospack.Commands.ir_spec);
         print_outcomes report.Ospack.Commands.ir_outcomes;
+        if timings then print_string (Obs.timings_table obs);
+        (match trace with
+        | None -> ()
+        | Some path ->
+            write_trace obs path;
+            Format.printf "==> trace written to %s@." path);
         0
     | Error e -> report_error e
   in
   Cmd.v
     (Cmd.info "install" ~doc:"Concretize and install a spec.")
-    Term.(const run $ backtrack $ spec_arg)
+    Term.(const run $ backtrack $ trace $ timings $ spec_arg)
 
 let spec_cmd =
   let explain =
@@ -227,6 +267,73 @@ let demo_cmd =
        ~doc:"Install a spec and walk the post-install workflow.")
     Term.(const run $ spec_arg)
 
+let stats_cmd =
+  let run parts =
+    let obs = Obs.create () in
+    let ctx = Ospack.Context.create ~cache_root:"/ospack/buildcache" ~obs () in
+    match Ospack.install ctx (join_spec parts) with
+    | Error e -> report_error e
+    | Ok report ->
+        Format.printf "==> %s@."
+          (Installer.summary_to_string report.Ospack.Commands.ir_summary);
+        print_string (Obs.timings_table obs);
+        print_string (Obs.stats_table obs);
+        0
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Install a spec into a fresh store with recording enabled and \
+          print the per-phase timing table, counters, and histograms.")
+    Term.(const run $ spec_arg)
+
+let trace_validate_cmd =
+  let file =
+    Arg.(
+      required & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"Chrome trace-event file to validate.")
+  in
+  let expects =
+    Arg.(
+      value & opt_all string []
+      & info [ "expect" ] ~docv:"NAME"
+          ~doc:"Require an event with this name to be present (repeatable).")
+  in
+  let run file expects =
+    let ic = open_in file in
+    let content = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    match Json.of_string content with
+    | Error e -> report_error (Printf.sprintf "%s: %s" file e)
+    | Ok j -> (
+        let events =
+          match Json.member "traceEvents" j with
+          | Some (Json.List l) -> l
+          | _ -> []
+        in
+        if events = [] then
+          report_error (Printf.sprintf "%s: no traceEvents" file)
+        else
+          let names =
+            List.filter_map
+              (fun ev -> Option.bind (Json.member "name" ev) Json.get_string)
+              events
+          in
+          match List.filter (fun n -> not (List.mem n names)) expects with
+          | [] ->
+              Format.printf "==> %s: %d events, all expected phases present@."
+                file (List.length events);
+              0
+          | missing ->
+              report_error
+                (Printf.sprintf "%s: missing phases: %s" file
+                   (String.concat ", " missing)))
+  in
+  Cmd.v
+    (Cmd.info "trace-validate"
+       ~doc:"Parse a trace file and check expected phase names are present.")
+    Term.(const run $ file $ expects)
+
 (* `spack script FILE` — run a sequence of commands against one in-memory
    store, so multi-step workflows (install, find, activate, view, gc) work
    from the shell despite per-process state. Lines: `# comment`, or
@@ -244,8 +351,10 @@ let script_cmd =
           ~doc:"Site configuration file layered over the built-in defaults.")
   in
   let run config_file file =
+    (* scripts record into an enabled sink so a final `stats` line can
+       report where the session's virtual time went *)
     let ctx =
-      match make_ctx ?config_file () with
+      match make_ctx ?config_file ~obs:(Obs.create ()) () with
       | Ok ctx -> ctx
       | Error e ->
           Format.eprintf "==> Error: %s@." e;
@@ -444,6 +553,9 @@ let script_cmd =
                        Format.printf "    %-30s %s@." root
                          (if installed then "[installed]" else "[missing]"))
                      (Ospack.Environment.status ctx env))
+           | "stats" ->
+               print_string (Obs.timings_table ctx.Ospack.Context.obs);
+               print_string (Obs.stats_table ctx.Ospack.Context.obs)
            | "echo" -> Format.printf "%s@." rest
            | other -> errf "unknown script command: %s" other
          end
@@ -462,7 +574,7 @@ let main =
        ~doc:"OCaml reproduction of the Spack package manager (SC'15).")
     [
       install_cmd; spec_cmd; graph_cmd; providers_cmd; info_cmd; list_cmd;
-      compilers_cmd; demo_cmd; script_cmd;
+      compilers_cmd; demo_cmd; stats_cmd; trace_validate_cmd; script_cmd;
     ]
 
 let () = exit (Cmd.eval' main)

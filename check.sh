@@ -11,6 +11,20 @@ dune build @all 2>&1
 echo "== dune runtest"
 dune runtest
 
+echo "== obs smoke: trace a small install, validate it, regenerate BENCH_obs.json"
+# the trace must parse as Chrome trace-event JSON, contain the expected
+# phase spans, and be byte-identical across two runs (virtual clock only)
+obs_tmp=_build/obs-smoke
+mkdir -p "$obs_tmp"
+./_build/default/bin/spack.exe install --trace "$obs_tmp/trace1.json" libdwarf > /dev/null
+./_build/default/bin/spack.exe install --trace "$obs_tmp/trace2.json" libdwarf > /dev/null
+cmp "$obs_tmp/trace1.json" "$obs_tmp/trace2.json"
+./_build/default/bin/spack.exe trace-validate "$obs_tmp/trace1.json" \
+    --expect concretize --expect build.stage --expect build.configure \
+    --expect build.compile --expect build.link --expect build.install \
+    --expect "install libdwarf"
+./_build/default/bench/main.exe obs BENCH_obs.json
+
 echo "== checking for stray _build files in git"
 # nothing under _build/ may be tracked, and none may appear in git status
 # (deletions are fine — that is _build being purged, not committed)

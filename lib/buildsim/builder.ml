@@ -6,8 +6,22 @@ module Version = Ospack_version.Version
 module Package = Ospack_package.Package
 module Build_model = Ospack_package.Build_model
 module Build_step = Ospack_package.Build_step
+module Obs = Ospack_obs.Obs
 
 type result = { br_log : string list; br_time : float; br_invocations : int }
+
+(* Typed failures so callers (the installer's accounting, observability
+   counters) can classify without string-matching the message. *)
+type error =
+  | Staging of { node : string; reason : string }
+  | Missing_dep of { node : string; dep : string }
+  | Step_failed of { node : string; reason : string }
+
+let error_to_string = function
+  | Staging { node; reason } -> Printf.sprintf "%s: staging: %s" node reason
+  | Missing_dep { node; dep } ->
+      Printf.sprintf "%s: dependency %s is not installed" node dep
+  | Step_failed { reason; _ } -> reason
 
 (* the calibrated virtual-clock constants (see builder.mli) *)
 let probe_cpu_seconds = 0.02
@@ -23,37 +37,51 @@ let installed_library ~prefix ~package =
 let installed_executable ~prefix ~package = prefix ^ "/bin/" ^ package
 
 (* Mutable per-build accounting: the virtual clock and the invocation
-   counter the wrapper overhead is charged against. *)
+   counter the wrapper overhead is charged against. Every charge is
+   mirrored to the obs sink (same amounts, same order), so enabled
+   traces reproduce the cost model exactly while [br_time] — the number
+   behind Figs. 10/11 — keeps coming from the local clock alone. *)
 type clock = {
   fs : Fsmodel.t;
   use_wrappers : bool;
+  obs : Obs.t;
   mutable seconds : float;
   mutable invocations : int;
 }
 
 let charge_meta clock ops =
-  clock.seconds <-
-    clock.seconds +. (float_of_int ops *. clock.fs.Fsmodel.fs_meta_seconds)
+  let dt = float_of_int ops *. clock.fs.Fsmodel.fs_meta_seconds in
+  clock.seconds <- clock.seconds +. dt;
+  Obs.advance clock.obs dt;
+  Obs.count clock.obs "fs.meta_ops" ops
 
 let charge_invocations clock ~count ~cpu_each ~meta_ops_each =
   clock.invocations <- clock.invocations + count;
   clock.seconds <- clock.seconds +. (float_of_int count *. cpu_each);
+  Obs.advance clock.obs (float_of_int count *. cpu_each);
   charge_meta clock (count * meta_ops_each);
-  if clock.use_wrappers then
+  if clock.use_wrappers then begin
     clock.seconds <-
       clock.seconds
-      +. (float_of_int count *. wrapper_seconds_per_invocation)
+      +. (float_of_int count *. wrapper_seconds_per_invocation);
+    Obs.advance clock.obs
+      (float_of_int count *. wrapper_seconds_per_invocation);
+    Obs.count clock.obs "wrapper.invocations" count
+  end
 
 let probe_phase clock (model : Build_model.t) =
-  charge_invocations clock ~count:model.Build_model.configure_checks
-    ~cpu_each:probe_cpu_seconds ~meta_ops_each:probe_meta_ops
+  Obs.span clock.obs ~cat:"build" "build.configure" (fun () ->
+      charge_invocations clock ~count:model.Build_model.configure_checks
+        ~cpu_each:probe_cpu_seconds ~meta_ops_each:probe_meta_ops)
 
 let compile_phase clock (model : Build_model.t) =
-  charge_invocations clock ~count:model.Build_model.source_files
-    ~cpu_each:model.Build_model.compile_seconds
-    ~meta_ops_each:model.Build_model.headers_per_compile;
-  charge_invocations clock ~count:model.Build_model.link_steps
-    ~cpu_each:link_cpu_seconds ~meta_ops_each:link_meta_ops
+  Obs.span clock.obs ~cat:"build" "build.compile" (fun () ->
+      charge_invocations clock ~count:model.Build_model.source_files
+        ~cpu_each:model.Build_model.compile_seconds
+        ~meta_ops_each:model.Build_model.headers_per_compile);
+  Obs.span clock.obs ~cat:"build" "build.link" (fun () ->
+      charge_invocations clock ~count:model.Build_model.link_steps
+        ~cpu_each:link_cpu_seconds ~meta_ops_each:link_meta_ops)
 
 let install_phase clock (model : Build_model.t) =
   charge_meta clock
@@ -87,8 +115,14 @@ let write_file vfs path content =
     (fun e -> Printf.sprintf "%s: %s" path (Vfs.error_to_string e))
     (Vfs.write_file vfs path content)
 
-let build ~vfs ~fs ~compilers ~use_wrappers ~mirror ~stage_root ~spec ~node
-    ~pkg ~prefix ~dep_prefix =
+let build ?(obs = Obs.disabled) ~vfs ~fs ~compilers ~use_wrappers ~mirror
+    ~stage_root ~spec ~node ~pkg ~prefix ~dep_prefix () =
+  (* all write failures below this point are step failures of this node *)
+  let write_file vfs path content =
+    Stdlib.Result.map_error
+      (fun reason -> Step_failed { node; reason })
+      (write_file vfs path content)
+  in
   let node_info = Concrete.node_exn spec node in
   (* every spec dependency must already have an installed prefix *)
   let* deps =
@@ -97,10 +131,7 @@ let build ~vfs ~fs ~compilers ~use_wrappers ~mirror ~stage_root ~spec ~node
         let* acc = acc in
         match dep_prefix dep_name with
         | Some p -> Ok ((Concrete.node_exn spec dep_name, p) :: acc)
-        | None ->
-            Error
-              (Printf.sprintf "%s: dependency %s is not installed" node
-                 dep_name))
+        | None -> Error (Missing_dep { node; dep = dep_name }))
       (Ok []) node_info.Concrete.deps
   in
   let deps = List.rev deps in
@@ -134,21 +165,23 @@ let build ~vfs ~fs ~compilers ~use_wrappers ~mirror ~stage_root ~spec ~node
   (* stage the sources: from the mirror (checksum-verified) when one is
      configured, otherwise straight from upstream *)
   let* () =
-    match mirror with
-    | None ->
-        logf "==> fetching %s from upstream"
-          (Mirror.archive_rel ~name:node ~version);
-        Ok ()
-    | Some m -> (
-        match Mirror.fetch m ~name:node ~version with
-        | Error e -> Error (Printf.sprintf "%s: staging: %s" node e)
-        | Ok (content, md5) ->
-            logf "==> fetched %s from %s (md5 verified: %s)"
-              (Mirror.archive_rel ~name:node ~version)
-              (Mirror.root m) md5;
-            write_file vfs
-              (stage ^ "/" ^ Mirror.archive_rel ~name:node ~version)
-              content)
+    Obs.span obs ~cat:"build" "build.stage" (fun () ->
+        match mirror with
+        | None ->
+            logf "==> fetching %s from upstream"
+              (Mirror.archive_rel ~name:node ~version);
+            Ok ()
+        | Some m -> (
+            match Mirror.fetch m ~name:node ~version with
+            | Error e -> Error (Staging { node; reason = e })
+            | Ok (content, md5) ->
+                Obs.count obs "mirror.fetches" 1;
+                logf "==> fetched %s from %s (md5 verified: %s)"
+                  (Mirror.archive_rel ~name:node ~version)
+                  (Mirror.root m) md5;
+                write_file vfs
+                  (stage ^ "/" ^ Mirror.archive_rel ~name:node ~version)
+                  content))
   in
   (* the isolated environment of §3.5.1 *)
   let env =
@@ -173,7 +206,7 @@ let build ~vfs ~fs ~compilers ~use_wrappers ~mirror ~stage_root ~spec ~node
   (match Env.get env "CC" with
   | Some cc -> logf "==> CC=%s (-> %s)" cc (Wrapper.driver_name toolchain Wrapper.C)
   | None -> ());
-  let clock = { fs; use_wrappers; seconds = 0.0; invocations = 0 } in
+  let clock = { fs; use_wrappers; obs; seconds = 0.0; invocations = 0 } in
   let model = pkg.Package.p_build_model in
   (* binaries carry NEEDED for the link deps; only wrapper builds burn in
      RPATHs (the paper's claim 2 distinction) *)
@@ -187,21 +220,28 @@ let build ~vfs ~fs ~compilers ~use_wrappers ~mirror ~stage_root ~spec ~node
     Binary.make ~kind:Binary.Exe ~soname:node ~needed:link_sonames
       ~rpaths:(if use_wrappers then (prefix ^ "/lib") :: link_libdirs else [])
   in
+  (* wrapper builds burn one RPATH entry per link libdir into the
+     library plus prefix/lib + link libdirs into the executable *)
+  let rpath_rewrites =
+    if use_wrappers then (2 * List.length link_libdirs) + 1 else 0
+  in
   let install_artifacts () =
-    install_phase clock model;
-    let* () =
-      write_file vfs
-        (installed_library ~prefix ~package:node)
-        (Binary.serialize lib_binary)
-    in
-    let* () =
-      write_file vfs
-        (installed_executable ~prefix ~package:node)
-        (Binary.serialize exe_binary)
-    in
-    write_file vfs
-      (prefix ^ "/include/" ^ node ^ ".h")
-      (Printf.sprintf "/* %s %s */\n" node (Version.to_string version))
+    Obs.span obs ~cat:"build" "build.install" (fun () ->
+        install_phase clock model;
+        Obs.count obs "build.rpath_rewrites" rpath_rewrites;
+        let* () =
+          write_file vfs
+            (installed_library ~prefix ~package:node)
+            (Binary.serialize lib_binary)
+        in
+        let* () =
+          write_file vfs
+            (installed_executable ~prefix ~package:node)
+            (Binary.serialize exe_binary)
+        in
+        write_file vfs
+          (prefix ^ "/include/" ^ node ^ ".h")
+          (Printf.sprintf "/* %s %s */\n" node (Version.to_string version)))
   in
   let log_sample_compile () =
     if use_wrappers then
@@ -249,7 +289,8 @@ let build ~vfs ~fs ~compilers ~use_wrappers ~mirror ~stage_root ~spec ~node
         else Ok ()
     | Build_step.Apply_patch file ->
         logf "==> patch -p1 < %s" file;
-        charge_meta clock 2;
+        Obs.span obs ~cat:"build" "build.patch" (fun () ->
+            charge_meta clock 2);
         Ok ()
     | Build_step.Install_file { rel; content } ->
         logf "==> install %s" rel;

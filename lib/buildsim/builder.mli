@@ -33,6 +33,18 @@ type result = {
       (** compiler invocations: configure probes + compiles + links *)
 }
 
+type error =
+  | Staging of { node : string; reason : string }
+      (** mirror fetch / checksum verification failed *)
+  | Missing_dep of { node : string; dep : string }
+      (** a spec dependency has no installed prefix *)
+  | Step_failed of { node : string; reason : string }
+      (** a recipe step failed (e.g. a VFS write error) *)
+
+val error_to_string : error -> string
+(** Render an error exactly as the historical string errors read, so
+    messages shown to users are unchanged. *)
+
 val installed_library : prefix:string -> package:string -> string
 (** [<prefix>/lib/lib<package>.so] (keeping an existing [lib] prefix). *)
 
@@ -40,6 +52,7 @@ val installed_executable : prefix:string -> package:string -> string
 (** [<prefix>/bin/<package>]. *)
 
 val build :
+  ?obs:Ospack_obs.Obs.t ->
   vfs:Ospack_vfs.Vfs.t ->
   fs:Fsmodel.t ->
   compilers:Ospack_config.Compilers.t ->
@@ -51,8 +64,19 @@ val build :
   pkg:Ospack_package.Package.t ->
   prefix:string ->
   dep_prefix:(string -> string option) ->
-  (result, string) Stdlib.result
+  unit ->
+  (result, error) Stdlib.result
 (** Build [node] of [spec] into [prefix]. Fails without touching the
     prefix when a spec dependency has no installed prefix
     ([dep_prefix] returns [None]) or when mirror staging fails
-    checksum verification. *)
+    checksum verification.
+
+    When [obs] is an enabled sink (default
+    {!Ospack_obs.Obs.disabled}), the build records spans for each
+    phase ([build.stage], [build.configure], [build.compile],
+    [build.link], [build.install], [build.patch]) and counters for
+    metadata operations, wrapper invocations, mirror fetches and RPATH
+    rewrites. Every virtual-clock charge is mirrored onto the obs
+    clock in the same order and amount, so traces are deterministic
+    and [br_time] — computed from the builder's own clock — is
+    unaffected by instrumentation. *)

@@ -1,4 +1,5 @@
 module Vfs = Ospack_vfs.Vfs
+module Obs = Ospack_obs.Obs
 
 type failure = {
   f_missing : string;
@@ -18,11 +19,18 @@ let read_binary vfs path =
   | Error _ -> Error ("no such binary: " ^ path)
   | Ok content -> Binary.parse content
 
-let resolve vfs ~path ~env =
+let resolve ?(obs = Obs.disabled) vfs ~path ~env =
+  Obs.count obs "loader.resolutions" 1;
+  let probes = ref 0 in
   let ld_dirs = Env.path_list env "LD_LIBRARY_PATH" in
+  let finish r =
+    Obs.count obs "loader.probes" !probes;
+    Obs.observe obs "loader.probes_per_resolution" (float_of_int !probes);
+    r
+  in
   match read_binary vfs path with
   | Error _ ->
-      Error { f_missing = path; f_needed_by = path; f_searched = [] }
+      finish (Error { f_missing = path; f_needed_by = path; f_searched = [] })
   | Ok root ->
       let resolved = ref [] in
       let visited = Hashtbl.create 16 in
@@ -41,6 +49,7 @@ let resolve vfs ~path ~env =
                   List.find_map
                     (fun dir ->
                       let candidate = dir ^ "/" ^ soname in
+                      incr probes;
                       match read_binary vfs candidate with
                       | Ok b when b.Binary.b_soname = soname ->
                           Some (candidate, b)
@@ -64,7 +73,7 @@ let resolve vfs ~path ~env =
         needed_one requester.Binary.b_needed
       in
       (match load root with
-      | Error f -> Error f
-      | Ok () -> Ok (List.rev !resolved))
+      | Error f -> finish (Error f)
+      | Ok () -> finish (Ok (List.rev !resolved)))
 
-let can_run vfs ~path ~env = Result.is_ok (resolve vfs ~path ~env)
+let can_run ?obs vfs ~path ~env = Result.is_ok (resolve ?obs vfs ~path ~env)

@@ -21,6 +21,7 @@ val system_dirs : string list
     ["/usr/lib"]). *)
 
 val resolve :
+  ?obs:Ospack_obs.Obs.t ->
   Ospack_vfs.Vfs.t ->
   path:string ->
   env:Env.t ->
@@ -29,8 +30,18 @@ val resolve :
     its NEEDED closure transitively, returning each distinct library
     once as [(soname, path)]. Every library's own RPATH takes effect
     for its own NEEDED entries, mirroring per-object DT_RPATH.
-    Mutually-needing libraries terminate (each is resolved once). *)
+    Mutually-needing libraries terminate (each is resolved once).
 
-val can_run : Ospack_vfs.Vfs.t -> path:string -> env:Env.t -> bool
+    When [obs] is enabled, each call counts one [loader.resolutions],
+    adds every candidate-path probe to [loader.probes], and records the
+    per-call probe count in the [loader.probes_per_resolution]
+    histogram. *)
+
+val can_run :
+  ?obs:Ospack_obs.Obs.t ->
+  Ospack_vfs.Vfs.t ->
+  path:string ->
+  env:Env.t ->
+  bool
 (** Does the whole closure resolve? False when the binary itself is
     missing or unparseable. *)

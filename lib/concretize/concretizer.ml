@@ -13,16 +13,18 @@ module Version = Ospack_version.Version
 module Vlist = Ospack_version.Vlist
 module Smap = Ast.Smap
 module Sset = Set.Make (String)
+module Obs = Ospack_obs.Obs
 
 type ctx = {
   repo : Repository.t;
   index : Provider_index.t;
   config : Config.t;
   compilers : Compilers.t;
+  obs : Obs.t;
 }
 
-let make_ctx ?(config = Config.empty) ~compilers repo =
-  { repo; index = Provider_index.build repo; config; compilers }
+let make_ctx ?(config = Config.empty) ?(obs = Obs.disabled) ~compilers repo =
+  { repo; index = Provider_index.build repo; config; compilers; obs }
 
 let fail e = raise (Cerror.Error e)
 
@@ -114,10 +116,29 @@ type decision = {
 
 type run_state = {
   ctx : ctx;
+  obs : Obs.t;
+      (* usually [ctx.obs]; [concretize_explain] substitutes its own
+         enabled sink so the decision log always has somewhere to go *)
   choices : (string * int) list;  (* decision overrides (backtracking) *)
   decisions : (string, int) Hashtbl.t;  (* stable across iterations *)
   mutable trace : decision list;  (* reversed *)
 }
+
+let explain_decision d =
+  match String.index_opt d.d_key ':' with
+  | Some i ->
+      let kind = String.sub d.d_key 0 i in
+      let subject =
+        String.sub d.d_key (i + 1) (String.length d.d_key - i - 1)
+      in
+      let what =
+        match kind with
+        | "provider" -> Printf.sprintf "virtual %s -> %s" subject d.d_chosen
+        | "version" -> Printf.sprintf "version of %s -> %s" subject d.d_chosen
+        | other -> Printf.sprintf "%s of %s -> %s" other subject d.d_chosen
+      in
+      Printf.sprintf "%s (1 of %d candidates)" what d.d_alternatives
+  | None -> Printf.sprintf "%s -> %s" d.d_key d.d_chosen
 
 let decide rs key ~repr alternatives =
   match alternatives with
@@ -134,9 +155,13 @@ let decide rs key ~repr alternatives =
           in
           Hashtbl.add rs.decisions key i;
           let chosen = List.nth alternatives i in
-          rs.trace <-
-            { d_key = key; d_alternatives = n; d_chosen = repr chosen }
-            :: rs.trace;
+          let d = { d_key = key; d_alternatives = n; d_chosen = repr chosen } in
+          rs.trace <- d :: rs.trace;
+          (* the policy-decision log is an obs event stream: the explain
+             rendering reads it back, and enabled traces show each
+             decision as an annotation at the point it was taken *)
+          Obs.count rs.obs "concretize.decisions" 1;
+          Obs.annotate rs.obs ~cat:"explain" (explain_decision d);
           Some chosen)
 
 (* Evaluate a when-predicate for [name] against the previous iteration's
@@ -198,12 +223,31 @@ let ranked_versions cfg pkg (constraint_ : Vlist.t) =
 
 let run rs (abstract : Ast.t) =
   let ctx = rs.ctx in
+  let obs = rs.obs in
+  (* every constraint merge is counted — the per-iteration cost driver
+     the ASP follow-up paper's evaluation is built around *)
+  let intersect_or_fail a b =
+    Obs.count obs "concretize.constraints_merged" 1;
+    intersect_or_fail a b
+  in
   let user_cons = ref abstract.Ast.deps in
   (* constraints contributed by deep depends_on specs, by package name *)
   let max_iterations = 50 in
   let rec iterate iter prev =
     if iter > max_iterations then
       fail (Cerror.Not_converged { iterations = max_iterations });
+    Obs.count obs "concretize.iterations" 1;
+    let root_name, nodes, snapshot =
+      Obs.span obs ~cat:"concretize"
+        ~args:[ ("iteration", string_of_int iter) ]
+        "concretize.iteration"
+        (fun () -> one_iteration prev)
+    in
+    if snapshot_equal snapshot prev then
+      Obs.span obs ~cat:"concretize" "concretize.finalize" (fun () ->
+          finalize root_name nodes snapshot)
+    else iterate (iter + 1) snapshot
+  and one_iteration prev =
     let nodes : (string, info) Hashtbl.t = Hashtbl.create 16 in
     let order : string list ref = ref [] in
     let extra = ref !user_cons in
@@ -545,8 +589,7 @@ let run rs (abstract : Ast.t) =
             nodes Smap.empty;
       }
     in
-    if snapshot_equal snapshot prev then finalize root_name nodes snapshot
-    else iterate (iter + 1) snapshot
+    (root_name, nodes, snapshot)
   and finalize root_name nodes snapshot =
     (* conflicts directives (paper §3.1: constraints tested on the spec) *)
     Hashtbl.iter
@@ -618,33 +661,26 @@ let run rs (abstract : Ast.t) =
 (* ------------------------------------------------------------------ *)
 (* Public entry points                                                 *)
 
-let run_once ctx choices abstract =
-  let rs = { ctx; choices; decisions = Hashtbl.create 8; trace = [] } in
+let run_once ?obs (ctx : ctx) choices abstract =
+  let obs = Option.value obs ~default:ctx.obs in
+  let rs = { ctx; obs; choices; decisions = Hashtbl.create 8; trace = [] } in
   match run rs abstract with
   | concrete -> (Ok concrete, List.rev rs.trace)
   | exception Cerror.Error e -> (Error e, List.rev rs.trace)
 
 let concretize ctx abstract = fst (run_once ctx [] abstract)
 
-let explain_decision d =
-  match String.index_opt d.d_key ':' with
-  | Some i ->
-      let kind = String.sub d.d_key 0 i in
-      let subject =
-        String.sub d.d_key (i + 1) (String.length d.d_key - i - 1)
-      in
-      let what =
-        match kind with
-        | "provider" -> Printf.sprintf "virtual %s -> %s" subject d.d_chosen
-        | "version" -> Printf.sprintf "version of %s -> %s" subject d.d_chosen
-        | other -> Printf.sprintf "%s of %s -> %s" other subject d.d_chosen
-      in
-      Printf.sprintf "%s (1 of %d candidates)" what d.d_alternatives
-  | None -> Printf.sprintf "%s -> %s" d.d_key d.d_chosen
-
-let concretize_explain ctx abstract =
-  let result, trace = run_once ctx [] abstract in
-  Result.map (fun c -> (c, List.map explain_decision trace)) result
+let concretize_explain (ctx : ctx) abstract =
+  (* the explain lines are read back from the obs event stream (rather
+     than a bespoke string list): the run annotates each decision as it
+     is taken, and we collect the annotations it produced. When the
+     session already records, the same annotations land in its trace. *)
+  let obs = if Obs.enabled ctx.obs then ctx.obs else Obs.create () in
+  let m = Obs.mark obs in
+  let result, _trace = run_once ~obs ctx [] abstract in
+  Result.map
+    (fun c -> (c, Obs.annotations_since obs ~cat:"explain" m))
+    result
 
 let concretize_string ctx spec =
   match Parser.parse spec with
@@ -691,6 +727,7 @@ let concretize_backtracking ?(max_runs = 2000) ctx abstract =
           | None -> Error first_error
           | Some choices' -> (
               runs_used := runs + 1;
+              Obs.count ctx.obs "concretize.backtracks" 1;
               match run_once ctx choices' abstract with
               | Ok c, _ -> Ok c
               | Error _, trace' -> search trace' choices' (runs + 1))

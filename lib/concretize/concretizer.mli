@@ -25,14 +25,22 @@ type ctx = {
   index : Ospack_package.Provider_index.t;
   config : Ospack_config.Config.t;
   compilers : Ospack_config.Compilers.t;
+  obs : Ospack_obs.Obs.t;
 }
 
 val make_ctx :
   ?config:Ospack_config.Config.t ->
+  ?obs:Ospack_obs.Obs.t ->
   compilers:Ospack_config.Compilers.t ->
   Ospack_package.Repository.t ->
   ctx
-(** Build a context (and the provider index) over a repository. *)
+(** Build a context (and the provider index) over a repository.
+
+    When [obs] is an enabled sink (default: {!Ospack_obs.Obs.disabled}),
+    every concretization records one span per fixed-point iteration plus
+    a finalize span, counters for iterations, constraint merges, policy
+    decisions and backtracking re-runs, and one instant annotation (cat
+    ["explain"]) per policy decision. *)
 
 val concretize :
   ctx -> Ospack_spec.Ast.t -> (Ospack_spec.Concrete.t, Cerror.t) result
@@ -45,7 +53,11 @@ val concretize_explain :
   (Ospack_spec.Concrete.t * string list, Cerror.t) result
 (** Like {!concretize}, additionally returning one human-readable line per
     policy decision the greedy run took (virtual-provider and version
-    choices with their candidate counts) — [spack spec --explain]. *)
+    choices with their candidate counts) — [spack spec --explain]. The
+    lines are read back from the obs event stream: the run annotates each
+    decision as it takes it (under an internal enabled sink when
+    [ctx.obs] is disabled), so the same lines appear as trace
+    annotations in recording sessions. *)
 
 val concretize_string :
   ctx -> string -> (Ospack_spec.Concrete.t, string) result

@@ -17,10 +17,12 @@ module Version = Ospack_version.Version
 module Vlist = Ospack_version.Vlist
 module Vfs = Ospack_vfs.Vfs
 module Variant_decl = Ospack_package.Variant_decl
+module Obs = Ospack_obs.Obs
 
 type install_report = {
   ir_spec : Concrete.t;
   ir_outcomes : Installer.outcome list;
+  ir_summary : Installer.summary;
 }
 
 let ( let* ) = Result.bind
@@ -80,17 +82,33 @@ let best_installed (ctx : Context.t) ast =
       | Some b -> if better r b then Some r else best)
     None candidates
 
+let report spec outcomes =
+  {
+    ir_spec = spec;
+    ir_outcomes = outcomes;
+    ir_summary = Installer.summary_of_outcomes outcomes;
+  }
+
 let install ?backtrack ?(fresh = false) (ctx : Context.t) text =
   let* ast = Parser.parse text in
   match if fresh then None else best_installed ctx ast with
   | Some record ->
       (* reuse: re-register (marks it explicit) without building *)
-      let* outcomes = Installer.install ctx.installer record.Database.r_spec in
-      Ok { ir_spec = record.Database.r_spec; ir_outcomes = outcomes }
+      let* outcomes =
+        Obs.span ctx.obs ~cat:"install" "install" (fun () ->
+            Installer.install ctx.installer record.Database.r_spec)
+      in
+      Ok (report record.Database.r_spec outcomes)
   | None ->
-      let* concrete = concretize_ast ?backtrack ctx ast in
-      let* outcomes = Installer.install ctx.installer concrete in
-      Ok { ir_spec = concrete; ir_outcomes = outcomes }
+      let* concrete =
+        Obs.span ctx.obs ~cat:"concretize" "concretize" (fun () ->
+            concretize_ast ?backtrack ctx ast)
+      in
+      let* outcomes =
+        Obs.span ctx.obs ~cat:"install" "install" (fun () ->
+            Installer.install ctx.installer concrete)
+      in
+      Ok (report concrete outcomes)
 
 let starts_with ~prefix s =
   String.length s >= String.length prefix
@@ -339,8 +357,11 @@ let reproduce (ctx : Context.t) ~prefix =
      re-concretizing the one-line spec for prefixes that predate it *)
   match Provenance.read_spec_json ctx.vfs ~prefix with
   | Ok concrete ->
-      let* outcomes = Installer.install ctx.installer concrete in
-      Ok { ir_spec = concrete; ir_outcomes = outcomes }
+      let* outcomes =
+        Obs.span ctx.obs ~cat:"install" "install" (fun () ->
+            Installer.install ctx.installer concrete)
+      in
+      Ok (report concrete outcomes)
   | Error _ -> (
       match Provenance.read_spec ctx.vfs ~prefix with
       | None ->

@@ -11,6 +11,10 @@ type install_report = {
   ir_spec : Ospack_spec.Concrete.t;  (** what was concretized *)
   ir_outcomes : Ospack_store.Installer.outcome list;
       (** per-node results, dependencies first *)
+  ir_summary : Ospack_store.Installer.summary;
+      (** typed classification of the outcomes (built / reused /
+          cache hits / cache misses / externals) — the CLI's one-line
+          install summary, never derived by string matching *)
 }
 
 val spec : Context.t -> string -> (Ospack_spec.Concrete.t, string) result

@@ -8,6 +8,7 @@ module Fsmodel = Ospack_buildsim.Fsmodel
 module Layout = Ospack_layout.Layout
 module Universe = Ospack_repo.Universe
 module Buildcache = Ospack_store.Buildcache
+module Obs = Ospack_obs.Obs
 
 type t = {
   vfs : Vfs.t;
@@ -17,35 +18,39 @@ type t = {
   cctx : Concretizer.ctx;
   installer : Installer.t;
   cache : Buildcache.t option;
+  obs : Obs.t;
   module_root : string;
 }
 
 let create ?config ?repo ?compilers ?fs ?scheme
-    ?(install_root = "/ospack/opt") ?cache_root () =
+    ?(install_root = "/ospack/opt") ?cache_root ?(obs = Obs.disabled) () =
   let config = Option.value config ~default:Universe.default_config in
   let repo =
     match repo with Some r -> r | None -> Universe.repository ()
   in
   let compilers = Option.value compilers ~default:Universe.compilers in
   let vfs = Vfs.create () in
-  let cctx = Concretizer.make_ctx ~config ~compilers repo in
+  let cctx = Concretizer.make_ctx ~config ~obs ~compilers repo in
   let cache =
     Option.map (fun root -> Buildcache.create vfs ~root) cache_root
   in
   let installer =
-    Installer.create ?fs ?scheme ~install_root ~config ?cache ~vfs ~repo
+    Installer.create ?fs ?scheme ~install_root ~config ?cache ~obs ~vfs ~repo
       ~compilers ()
   in
-  { vfs; config; repo; compilers; cctx; installer; cache;
+  { vfs; config; repo; compilers; cctx; installer; cache; obs;
     module_root = "/ospack/modules" }
 
 let with_site_packages t site_pkgs =
   let site = Repository.create ~name:"site" site_pkgs in
   let repo = Repository.layered [ site; t.repo ] in
-  let cctx = Concretizer.make_ctx ~config:t.config ~compilers:t.compilers repo in
+  let cctx =
+    Concretizer.make_ctx ~config:t.config ~obs:t.obs ~compilers:t.compilers
+      repo
+  in
   let installer =
     Installer.create ~install_root:(Installer.install_root t.installer)
-      ~config:t.config ?cache:t.cache ~vfs:t.vfs ~repo ~compilers:t.compilers
-      ()
+      ~config:t.config ?cache:t.cache ~obs:t.obs ~vfs:t.vfs ~repo
+      ~compilers:t.compilers ()
   in
   { t with repo; cctx; installer }

@@ -11,6 +11,9 @@ type t = {
   installer : Ospack_store.Installer.t;
   cache : Ospack_store.Buildcache.t option;
       (** binary build cache, when enabled via [cache_root] *)
+  obs : Ospack_obs.Obs.t;
+      (** the observability sink every layer records into; disabled (and
+          therefore free) unless [create] was given an enabled one *)
   module_root : string;  (** where generated module files are written *)
 }
 
@@ -22,6 +25,7 @@ val create :
   ?scheme:Ospack_layout.Layout.scheme ->
   ?install_root:string ->
   ?cache_root:string ->
+  ?obs:Ospack_obs.Obs.t ->
   unit ->
   t
 (** Defaults: the built-in 245-package universe, the LLNL-flavored site

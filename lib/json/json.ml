@@ -9,6 +9,79 @@ type t =
 
 (* ---------------- printing ---------------- *)
 
+(* ---- float rendering ----
+   Fixed-point decimals only: never exponent notation (which some
+   downstream trace consumers reject and which breaks golden diffs when
+   the crossover point differs), never locale-dependent separators
+   (OCaml's printf is locale-independent), and always containing a '.'
+   so a reparse yields a Float, not an Int. The mantissa is the shortest
+   of %.15g/%.16g/%.17g that round-trips, so values like 0.0002 print as
+   "0.0002", not "0.00020000000000000001". *)
+
+let expand_exponent s =
+  (* "d[.ddd]e±EE" -> plain decimal notation *)
+  match
+    String.index_opt s 'e'
+    |> (function None -> String.index_opt s 'E' | some -> some)
+  with
+  | None -> s
+  | Some epos ->
+      let mantissa = String.sub s 0 epos in
+      let exp =
+        int_of_string (String.sub s (epos + 1) (String.length s - epos - 1))
+      in
+      let sign, mantissa =
+        if mantissa.[0] = '-' then
+          ("-", String.sub mantissa 1 (String.length mantissa - 1))
+        else ("", mantissa)
+      in
+      let int_part, frac_part =
+        match String.index_opt mantissa '.' with
+        | None -> (mantissa, "")
+        | Some dot ->
+            ( String.sub mantissa 0 dot,
+              String.sub mantissa (dot + 1) (String.length mantissa - dot - 1)
+            )
+      in
+      let digits = int_part ^ frac_part in
+      (* decimal point sits after [point] digits of [digits] *)
+      let point = String.length int_part + exp in
+      let buf = Buffer.create (String.length digits + abs exp + 4) in
+      Buffer.add_string buf sign;
+      if point <= 0 then begin
+        Buffer.add_string buf "0.";
+        Buffer.add_string buf (String.make (-point) '0');
+        Buffer.add_string buf digits
+      end
+      else if point >= String.length digits then begin
+        Buffer.add_string buf digits;
+        Buffer.add_string buf (String.make (point - String.length digits) '0');
+        Buffer.add_string buf ".0"
+      end
+      else begin
+        Buffer.add_string buf (String.sub digits 0 point);
+        Buffer.add_char buf '.';
+        Buffer.add_string buf
+          (String.sub digits point (String.length digits - point))
+      end;
+      Buffer.contents buf
+
+let float_to_string f =
+  if f <> f then "null" (* nan: not representable in JSON *)
+  else if f = infinity || f = neg_infinity then "null"
+  else if Float.is_integer f && Float.abs f < 1e16 then
+    Printf.sprintf "%.1f" f
+  else
+    let shortest =
+      let s = Printf.sprintf "%.15g" f in
+      if float_of_string s = f then s
+      else
+        let s = Printf.sprintf "%.16g" f in
+        if float_of_string s = f then s else Printf.sprintf "%.17g" f
+    in
+    let fixed = expand_exponent shortest in
+    if String.contains fixed '.' then fixed else fixed ^ ".0"
+
 let escape_string buf s =
   Buffer.add_char buf '"';
   String.iter
@@ -37,9 +110,7 @@ let to_string ?(indent = 0) t =
     | Null -> Buffer.add_string buf "null"
     | Bool b -> Buffer.add_string buf (string_of_bool b)
     | Int i -> Buffer.add_string buf (string_of_int i)
-    | Float f ->
-        (* round-trippable float rendering *)
-        Buffer.add_string buf (Printf.sprintf "%.17g" f)
+    | Float f -> Buffer.add_string buf (float_to_string f)
     | String s -> escape_string buf s
     | List [] -> Buffer.add_string buf "[]"
     | List items ->

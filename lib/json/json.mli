@@ -18,7 +18,12 @@ type t =
   | Obj of (string * t) list  (** insertion-ordered *)
 
 val to_string : ?indent:int -> t -> string
-(** Render; [indent] > 0 pretty-prints (default 0: compact). *)
+(** Render; [indent] > 0 pretty-prints (default 0: compact). Floats are
+    rendered as fixed-point decimals — the shortest representation that
+    round-trips, never exponent notation, never locale-dependent, always
+    containing a ['.'] so reparsing yields a [Float] — which keeps trace
+    files and other golden artifacts diff-stable. Non-finite floats
+    (which JSON cannot represent) render as [null]. *)
 
 val of_string : string -> (t, string) result
 (** Parse; the error message names the offending position. *)

@@ -8,6 +8,16 @@ module Layout = Ospack_layout.Layout
 module Policy = Ospack_config.Policy
 module Config = Ospack_config.Config
 module Binary = Ospack_buildsim.Binary
+module Obs = Ospack_obs.Obs
+
+type stats = {
+  mutable st_built : int;
+  mutable st_reused : int;
+  mutable st_cache_hits : int;
+  mutable st_cache_misses : int;
+  mutable st_staging_failures : int;
+  mutable st_externals : int;
+}
 
 type t = {
   vfs : Vfs.t;
@@ -22,6 +32,8 @@ type t = {
   repo : Repository.t;
   compilers : Ospack_config.Compilers.t;
   db : Database.t;
+  obs : Obs.t;
+  st : stats;
   mutable total_seconds : float;
 }
 
@@ -29,12 +41,13 @@ type outcome = {
   o_record : Database.record;
   o_reused : bool;
   o_cached : bool;
+  o_cache_miss : bool;
 }
 
 let create ?(fs = Fsmodel.tmpfs) ?(scheme = Layout.Spack_default)
     ?(install_root = "/ospack/opt") ?(stage_root = "/ospack/stage")
-    ?(use_wrappers = true) ?(config = Config.empty) ?cache ?mirror ~vfs ~repo
-    ~compilers () =
+    ?(use_wrappers = true) ?(config = Config.empty) ?cache ?mirror
+    ?(obs = Obs.disabled) ~vfs ~repo ~compilers () =
   {
     vfs;
     fs;
@@ -48,7 +61,28 @@ let create ?(fs = Fsmodel.tmpfs) ?(scheme = Layout.Spack_default)
     repo;
     compilers;
     db = Database.create ();
+    obs;
+    st =
+      {
+        st_built = 0;
+        st_reused = 0;
+        st_cache_hits = 0;
+        st_cache_misses = 0;
+        st_staging_failures = 0;
+        st_externals = 0;
+      };
     total_seconds = 0.0;
+  }
+
+let stats t =
+  (* snapshot, so callers cannot perturb the accounting *)
+  {
+    st_built = t.st.st_built;
+    st_reused = t.st.st_reused;
+    st_cache_hits = t.st.st_cache_hits;
+    st_cache_misses = t.st.st_cache_misses;
+    st_staging_failures = t.st.st_staging_failures;
+    st_externals = t.st.st_externals;
   }
 
 let index_path t = t.install_root ^ "/.spack-db/index.json"
@@ -128,8 +162,14 @@ let external_record t sub name ~explicit =
 let install_node t spec name ~explicit =
   let sub = Concrete.subspec spec name in
   let hash = Concrete.root_hash sub in
+  Obs.span t.obs ~cat:"install"
+    ~args:[ ("node", name); ("hash", hash) ]
+    ("install " ^ name)
+  @@ fun () ->
   match Database.find_by_hash t.db hash with
   | Some record ->
+      t.st.st_reused <- t.st.st_reused + 1;
+      Obs.count t.obs "install.reused" 1;
       if explicit && not record.Database.r_explicit then
         Database.add t.db { record with Database.r_explicit = true };
       Ok
@@ -139,16 +179,27 @@ let install_node t spec name ~explicit =
               Database.r_explicit = explicit || record.Database.r_explicit };
           o_reused = true;
           o_cached = false;
+          o_cache_miss = false;
         }
   | None ->
   match external_record t sub name ~explicit with
   | Some record ->
+      t.st.st_externals <- t.st.st_externals + 1;
+      Obs.count t.obs "install.externals" 1;
       Database.add t.db record;
-      Ok { o_record = record; o_reused = false; o_cached = false }
+      Ok
+        {
+          o_record = record;
+          o_reused = false;
+          o_cached = false;
+          o_cache_miss = false;
+        }
   | None ->
   (* binary cache: extract instead of building, relocating prefixes *)
   match t.cache with
   | Some cache when Buildcache.has cache ~hash -> (
+      t.st.st_cache_hits <- t.st.st_cache_hits + 1;
+      Obs.count t.obs "buildcache.hits" 1;
       let prefix = prefix_of t spec name in
       match
         Buildcache.extract cache ~hash ~install_root:t.install_root ~prefix
@@ -168,8 +219,20 @@ let install_node t spec name ~explicit =
             }
           in
           Database.add t.db record;
-          Ok { o_record = record; o_reused = false; o_cached = true })
+          Ok
+            {
+              o_record = record;
+              o_reused = false;
+              o_cached = true;
+              o_cache_miss = false;
+            })
   | _ ->
+      (* a configured cache that lacks this hash is a miss we account *)
+      let cache_miss = Option.is_some t.cache in
+      if cache_miss then begin
+        t.st.st_cache_misses <- t.st.st_cache_misses + 1;
+        Obs.count t.obs "buildcache.misses" 1
+      end;
       let* pkg =
         match Repository.find t.repo name with
         | Some p -> Ok p
@@ -183,10 +246,18 @@ let install_node t spec name ~explicit =
           (Database.find_by_hash t.db dep_hash)
       in
       let* result =
-        Builder.build ~vfs:t.vfs ~fs:t.fs ~compilers:t.compilers
-          ~use_wrappers:t.use_wrappers ~mirror:t.mirror
-          ~stage_root:t.stage_root ~spec:sub ~node:name ~pkg ~prefix
-          ~dep_prefix
+        Result.map_error
+          (fun e ->
+            (match e with
+            | Builder.Staging _ ->
+                t.st.st_staging_failures <- t.st.st_staging_failures + 1;
+                Obs.count t.obs "install.staging_failures" 1
+            | Builder.Missing_dep _ | Builder.Step_failed _ -> ());
+            Builder.error_to_string e)
+          (Builder.build ~obs:t.obs ~vfs:t.vfs ~fs:t.fs
+             ~compilers:t.compilers ~use_wrappers:t.use_wrappers
+             ~mirror:t.mirror ~stage_root:t.stage_root ~spec:sub ~node:name
+             ~pkg ~prefix ~dep_prefix ())
       in
       Provenance.write t.vfs ~prefix ~spec:sub
         ~package_source:pkg.Package.p_source ~log:result.Builder.br_log;
@@ -202,8 +273,17 @@ let install_node t spec name ~explicit =
         }
       in
       Database.add t.db record;
+      t.st.st_built <- t.st.st_built + 1;
+      Obs.count t.obs "install.built" 1;
+      Obs.observe t.obs "build.node_seconds" result.Builder.br_time;
       t.total_seconds <- t.total_seconds +. result.Builder.br_time;
-      Ok { o_record = record; o_reused = false; o_cached = false }
+      Ok
+        {
+          o_record = record;
+          o_reused = false;
+          o_cached = false;
+          o_cache_miss = cache_miss;
+        }
 
 let install t ?(explicit = true) spec =
   let order = Concrete.topological_order spec in
@@ -219,6 +299,42 @@ let install t ?(explicit = true) spec =
         go (outcome :: acc) rest
   in
   go [] order
+
+type summary = {
+  s_built : int;
+  s_reused : int;
+  s_cache_hits : int;
+  s_cache_misses : int;
+  s_externals : int;
+}
+
+let summary_of_outcomes outcomes =
+  List.fold_left
+    (fun s o ->
+      let s =
+        if o.o_reused then { s with s_reused = s.s_reused + 1 }
+        else if o.o_cached then { s with s_cache_hits = s.s_cache_hits + 1 }
+        else if o.o_record.Database.r_external then
+          { s with s_externals = s.s_externals + 1 }
+        else { s with s_built = s.s_built + 1 }
+      in
+      if o.o_cache_miss then { s with s_cache_misses = s.s_cache_misses + 1 }
+      else s)
+    {
+      s_built = 0;
+      s_reused = 0;
+      s_cache_hits = 0;
+      s_cache_misses = 0;
+      s_externals = 0;
+    }
+    outcomes
+
+let summary_to_string s =
+  let optional n what = if n = 0 then "" else Printf.sprintf ", %d %s" n what in
+  Printf.sprintf "%d built, %d reused%s%s%s" s.s_built s.s_reused
+    (optional s.s_cache_hits "from cache")
+    (optional s.s_cache_misses "cache misses")
+    (optional s.s_externals "external")
 
 let uninstall t ~hash =
   let* record = Database.remove t.db hash in

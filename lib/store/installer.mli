@@ -14,7 +14,24 @@ type outcome = {
   o_record : Database.record;
   o_reused : bool;  (** true when the hash was already installed *)
   o_cached : bool;  (** true when extracted from the binary cache *)
+  o_cache_miss : bool;
+      (** true when a binary cache was configured but lacked the hash,
+          so the node had to be built from source *)
 }
+
+type stats = {
+  mutable st_built : int;  (** nodes built from source *)
+  mutable st_reused : int;  (** nodes whose hash was already installed *)
+  mutable st_cache_hits : int;  (** nodes extracted from the binary cache *)
+  mutable st_cache_misses : int;
+      (** nodes built because the configured cache lacked their hash *)
+  mutable st_staging_failures : int;
+      (** builds that failed in staging (mirror fetch / checksum) *)
+  mutable st_externals : int;  (** vendor prefixes registered (§4.4) *)
+}
+(** Cumulative, typed accounting over the installer's lifetime —
+    classified from the builder's typed errors and the install paths
+    taken, never by string-matching messages. *)
 
 val create :
   ?fs:Ospack_buildsim.Fsmodel.t ->
@@ -25,6 +42,7 @@ val create :
   ?config:Ospack_config.Config.t ->
   ?cache:Buildcache.t ->
   ?mirror:Ospack_buildsim.Mirror.t ->
+  ?obs:Ospack_obs.Obs.t ->
   vfs:Ospack_vfs.Vfs.t ->
   repo:Ospack_package.Repository.t ->
   compilers:Ospack_config.Compilers.t ->
@@ -39,7 +57,14 @@ val create :
     pulls from a binary build cache: nodes whose hash is cached are
     extracted (with prefix relocation) instead of built. [mirror] makes
     every build stage its sources from a checksum-verified mirror archive
-    (a missing or corrupted archive fails the build). *)
+    (a missing or corrupted archive fails the build). [obs] (default
+    {!Ospack_obs.Obs.disabled}) receives one span per installed node
+    (named [install <name>], cat ["install"], with [node]/[hash] args,
+    nesting the builder's phase spans), counters
+    ([install.built]/[install.reused]/[install.externals],
+    [buildcache.hits]/[buildcache.misses], [install.staging_failures])
+    and a [build.node_seconds] histogram; it is also threaded into every
+    {!Ospack_buildsim.Builder.build}. *)
 
 val database : t -> Database.t
 val vfs : t -> Ospack_vfs.Vfs.t
@@ -62,6 +87,26 @@ val uninstall : t -> hash:string -> (Database.record, string) result
 
 val total_build_seconds : t -> float
 (** Sum of simulated build time across everything this installer built. *)
+
+val stats : t -> stats
+(** Snapshot of the cumulative accounting (mutating the returned record
+    does not affect the installer). *)
+
+type summary = {
+  s_built : int;
+  s_reused : int;
+  s_cache_hits : int;
+  s_cache_misses : int;
+  s_externals : int;
+}
+(** Per-install classification of {!outcome} lists, for the CLI's
+    one-line install summary. *)
+
+val summary_of_outcomes : outcome list -> summary
+
+val summary_to_string : summary -> string
+(** ["N built, M reused"] plus [", K from cache"], [", K cache misses"]
+    and [", K external"] segments when nonzero. *)
 
 val push_to_cache : t -> Buildcache.t -> (int, string) result
 (** Archive every locally built (non-external) record into a cache;

@@ -266,9 +266,10 @@ let run_build ?(use_wrappers = true) ?(fs = Fsmodel.tmpfs) pkg name =
       ~stage_root:"/stage" ~spec:(concrete_one name) ~node:name ~pkg
       ~prefix:("/opt/" ^ name)
       ~dep_prefix:(fun _ -> None)
+      ()
   with
   | Ok r -> r
-  | Error e -> Alcotest.failf "build failed: %s" e
+  | Error e -> Alcotest.failf "build failed: %s" (Builder.error_to_string e)
 
 let build_produces_artifacts () =
   let vfs = Vfs.create () in
@@ -279,9 +280,10 @@ let build_produces_artifacts () =
         ~stage_root:"/stage" ~spec:(concrete_one "widget") ~node:"widget"
         ~pkg ~prefix:"/opt/widget"
         ~dep_prefix:(fun _ -> None)
+      ()
     with
     | Ok r -> r
-    | Error e -> Alcotest.failf "build failed: %s" e
+    | Error e -> Alcotest.failf "build failed: %s" (Builder.error_to_string e)
   in
   Alcotest.(check bool) "library installed" true
     (Vfs.is_file vfs "/opt/widget/lib/libwidget.so");
@@ -331,9 +333,10 @@ let rpath_claim () =
        ~stage_root:"/stage" ~spec:(concrete_one "depx") ~node:"depx"
        ~pkg:dep_pkg ~prefix:"/opt/depx"
        ~dep_prefix:(fun _ -> None)
+      ()
    with
   | Ok _ -> ()
-  | Error e -> Alcotest.failf "dep build failed: %s" e);
+  | Error e -> Alcotest.failf "dep build failed: %s" (Builder.error_to_string e));
   let spec =
     match
       Concrete.make ~root:"app"
@@ -367,9 +370,10 @@ let rpath_claim () =
       Builder.build ~vfs ~fs:Fsmodel.tmpfs ~compilers ~use_wrappers ~mirror:None
         ~stage_root:"/stage" ~spec ~node:"app" ~pkg:app_pkg ~prefix
         ~dep_prefix:(function "depx" -> Some "/opt/depx" | _ -> None)
+        ()
     with
     | Ok _ -> ()
-    | Error e -> Alcotest.failf "app build failed: %s" e
+    | Error e -> Alcotest.failf "app build failed: %s" (Builder.error_to_string e)
   in
   build ~use_wrappers:true "/opt/app-spack";
   build ~use_wrappers:false "/opt/app-native";
@@ -410,6 +414,7 @@ let step_details () =
        ~stage_root:"/stage" ~spec:(concrete_one "pypkg") ~node:"pypkg" ~pkg
        ~prefix:"/opt/pypkg"
        ~dep_prefix:(fun _ -> None)
+      ()
    with
   | Ok r ->
       Alcotest.(check bool) "env recorded" true
@@ -420,7 +425,7 @@ let step_details () =
         (List.exists (fun l -> l = "# done") r.Builder.br_log);
       Alcotest.(check bool) "artifacts from setup.py install" true
         (Vfs.is_file vfs "/opt/pypkg/lib/libpypkg.so")
-  | Error e -> Alcotest.failf "build: %s" e);
+  | Error e -> Alcotest.failf "build: %s" (Builder.error_to_string e));
   (* invocation accounting for a plain autotools build: probes + compiles
      + links *)
   let model =
@@ -464,9 +469,10 @@ let build_dep_kinds () =
                 | Error _ -> assert false)
           ~node:name ~pkg:(dep_pkg name) ~prefix:("/opt/" ^ name)
           ~dep_prefix:(fun _ -> None)
+      ()
       with
       | Ok _ -> ()
-      | Error e -> Alcotest.failf "%s: %s" name e)
+      | Error e -> Alcotest.failf "%s: %s" name (Builder.error_to_string e))
     [ "buildtool"; "linklib" ];
   let app_pkg =
     make_pkg "app"
@@ -496,9 +502,10 @@ let build_dep_kinds () =
          | "buildtool" -> Some "/opt/buildtool"
          | "linklib" -> Some "/opt/linklib"
          | _ -> None)
+       ()
    with
   | Ok _ -> ()
-  | Error e -> Alcotest.failf "app: %s" e);
+  | Error e -> Alcotest.failf "app: %s" (Builder.error_to_string e));
   match Vfs.read_file vfs "/opt/app/bin/app" with
   | Error _ -> Alcotest.fail "binary missing"
   | Ok content -> (
@@ -548,11 +555,12 @@ let missing_dep_fails () =
       ~use_wrappers:true ~mirror:None ~stage_root:"/stage" ~spec ~node:"app" ~pkg
       ~prefix:"/opt/app"
       ~dep_prefix:(fun _ -> None)
+      ()
   with
   | Ok _ -> Alcotest.fail "should fail on uninstalled dependency"
   | Error e ->
       Alcotest.(check bool) "names the dependency" true
-        (Astring.String.is_infix ~affix:"ghost" e)
+        (Astring.String.is_infix ~affix:"ghost" (Builder.error_to_string e))
 
 let () =
   Alcotest.run "buildsim"

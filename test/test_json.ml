@@ -56,6 +56,64 @@ let accessors () =
   Alcotest.(check bool) "type mismatch" true
     (Option.bind (Json.member "s" v) Json.get_int = None)
 
+(* trace output must round-trip and golden-diff cleanly: fixed-point
+   decimals, never exponent notation, shortest round-tripping mantissa *)
+let float_formatting () =
+  let shows f expected =
+    Alcotest.(check string)
+      (Printf.sprintf "render %h" f)
+      expected
+      (Json.to_string (Json.Float f))
+  in
+  shows 0.0002 "0.0002";
+  shows 2.5 "2.5";
+  shows 2.0 "2.0";
+  shows (-0.5) "-0.5";
+  shows 0.0 "0.0";
+  shows 1e20 "100000000000000000000.0";
+  shows 1.5e-7 "0.00000015";
+  shows (-1.5e-7) "-0.00000015";
+  shows 1e15 "1000000000000000.0";
+  (* virtual-clock microsecond values, the trace hot case *)
+  shows 200.0 "200.0";
+  shows 1200.4 "1200.4";
+  (* JSON cannot represent non-finite floats *)
+  Alcotest.(check string) "nan" "null" (Json.to_string (Json.Float nan));
+  Alcotest.(check string) "inf" "null" (Json.to_string (Json.Float infinity));
+  (* no exponent notation, no locale separators, and exact round-trip for
+     a spread of magnitudes *)
+  List.iter
+    (fun f ->
+      let s = Json.to_string (Json.Float f) in
+      Alcotest.(check bool)
+        (s ^ " has no exponent") false
+        (String.contains s 'e' || String.contains s 'E');
+      Alcotest.(check bool)
+        (s ^ " has no comma") false (String.contains s ',');
+      match Json.of_string s with
+      | Ok (Json.Float f') ->
+          Alcotest.(check bool) (s ^ " round-trips") true (f = f')
+      | Ok _ -> Alcotest.failf "%s reparsed as non-float" s
+      | Error e -> Alcotest.failf "%s: %s" s e)
+    [
+      0.0002; 33.7; 1e-12; 6.02214076e23; 4.9e-324; 1.7976931348623157e308;
+      0.1; (1.0 /. 3.0); -12345.678901234567;
+    ]
+
+let float_roundtrip =
+  QCheck.Test.make ~name:"float rendering round-trips bit-exactly" ~count:500
+    (QCheck.make
+       ~print:(fun f -> Printf.sprintf "%h" f)
+       QCheck.Gen.(
+         map
+           (fun (m, e) -> ldexp m e)
+           (pair (float_bound_inclusive 1.0) (int_range (-60) 60))))
+    (fun f ->
+      match Json.of_string (Json.to_string (Json.Float f)) with
+      | Ok (Json.Float f') -> f = f'
+      | Ok (Json.Int i) -> float_of_int i = f
+      | _ -> false)
+
 (* random JSON values; strings restricted to printable to keep the
    generator simple *)
 let arb_json =
@@ -66,6 +124,9 @@ let arb_json =
         return Json.Null;
         map (fun b -> Json.Bool b) bool;
         map (fun i -> Json.Int i) (int_range (-1000000) 1000000);
+        map
+          (fun (m, e) -> Json.Float (ldexp m e))
+          (pair (float_bound_inclusive 1.0) (int_range (-40) 40));
         map (fun s -> Json.String s) (string_size ~gen:printable (int_bound 12));
       ]
   in
@@ -226,6 +287,9 @@ let () =
           Alcotest.test_case "parse cases" `Quick parse_cases;
           Alcotest.test_case "parse errors" `Quick parse_errors;
           Alcotest.test_case "accessors" `Quick accessors;
+          Alcotest.test_case "float formatting (fixed-point)" `Quick
+            float_formatting;
+          QCheck_alcotest.to_alcotest float_roundtrip;
           QCheck_alcotest.to_alcotest roundtrip_compact;
           QCheck_alcotest.to_alcotest roundtrip_pretty;
         ] );

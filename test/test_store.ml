@@ -393,6 +393,84 @@ let mirror_fetching () =
       Alcotest.(check bool) "missing archive reported" true
         (Astring.String.is_infix ~affix:"no archive" e)
 
+(* --- typed accounting: summaries, stats, staging failures --- *)
+
+let summary_classification () =
+  let _, inst = fresh () in
+  let first = Installer.summary_of_outcomes (install inst "mpileaks ^mpich") in
+  Alcotest.(check int) "all built" 5 first.Installer.s_built;
+  Alcotest.(check int) "none reused" 0 first.Installer.s_reused;
+  Alcotest.(check string) "first summary" "5 built, 0 reused"
+    (Installer.summary_to_string first);
+  let again = Installer.summary_of_outcomes (install inst "mpileaks ^mpich") in
+  Alcotest.(check int) "nothing rebuilt" 0 again.Installer.s_built;
+  Alcotest.(check int) "all reused" 5 again.Installer.s_reused;
+  Alcotest.(check string) "reuse summary" "0 built, 5 reused"
+    (Installer.summary_to_string again);
+  (* lifetime stats accumulate across both installs *)
+  let st = Installer.stats inst in
+  Alcotest.(check int) "stats built" 5 st.Installer.st_built;
+  Alcotest.(check int) "stats reused" 5 st.Installer.st_reused;
+  Alcotest.(check int) "no cache configured, no misses" 0
+    st.Installer.st_cache_misses
+
+let cache_accounting () =
+  let vfs = Vfs.create () in
+  let cache = Ospack_store.Buildcache.create vfs ~root:"/ospack/buildcache" in
+  (* seed the cache with just the dyninst sub-DAG *)
+  let seeder = Installer.create ~vfs ~repo ~compilers () in
+  (match Installer.install seeder (concretize "dyninst") with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "seed: %s" e);
+  (match Installer.push_to_cache seeder cache with
+  | Ok n -> Alcotest.(check int) "two entries pushed" 2 n
+  | Error e -> Alcotest.failf "push: %s" e);
+  let puller =
+    Installer.create ~install_root:"/elsewhere/opt" ~cache ~vfs ~repo
+      ~compilers ()
+  in
+  let outcomes =
+    match Installer.install puller (concretize "mpileaks ^mpich") with
+    | Ok o -> o
+    | Error e -> Alcotest.failf "pull: %s" e
+  in
+  (* per-outcome flags: libelf+dyninst are hits, the rest are typed misses *)
+  let name o = Concrete.root o.Installer.o_record.Database.r_spec in
+  let hits = List.filter (fun o -> o.Installer.o_cached) outcomes in
+  let misses = List.filter (fun o -> o.Installer.o_cache_miss) outcomes in
+  Alcotest.(check (slist string compare))
+    "cache hits" [ "dyninst"; "libelf" ] (List.map name hits);
+  Alcotest.(check (slist string compare))
+    "cache misses"
+    [ "callpath"; "mpich"; "mpileaks" ]
+    (List.map name misses);
+  let s = Installer.summary_of_outcomes outcomes in
+  Alcotest.(check string) "mixed summary"
+    "3 built, 0 reused, 2 from cache, 3 cache misses"
+    (Installer.summary_to_string s);
+  let st = Installer.stats puller in
+  Alcotest.(check int) "stats hits" 2 st.Installer.st_cache_hits;
+  Alcotest.(check int) "stats misses" 3 st.Installer.st_cache_misses;
+  Alcotest.(check int) "stats built" 3 st.Installer.st_built
+
+let staging_failure_accounting () =
+  let vfs = Vfs.create () in
+  (* an empty mirror: every staging attempt fails before any build step *)
+  let mirror = Ospack_buildsim.Mirror.create vfs ~root:"/mirror" in
+  let obs = Ospack_obs.Obs.create () in
+  let inst = Installer.create ~mirror ~obs ~vfs ~repo ~compilers () in
+  (match Installer.install inst (concretize "libelf") with
+  | Ok _ -> Alcotest.fail "empty mirror must fail staging"
+  | Error e ->
+      Alcotest.(check bool) "message still names the archive" true
+        (Astring.String.is_infix ~affix:"no archive" e));
+  (* the failure is classified from the typed Staging error, not the text *)
+  let st = Installer.stats inst in
+  Alcotest.(check int) "one staging failure" 1 st.Installer.st_staging_failures;
+  Alcotest.(check int) "nothing built" 0 st.Installer.st_built;
+  Alcotest.(check int) "obs counter agrees" 1
+    (Ospack_obs.Obs.counter obs "install.staging_failures")
+
 let index_persistence () =
   (* a second installer on the same filesystem picks up the store *)
   let vfs = Vfs.create () in
@@ -445,5 +523,11 @@ let () =
             buildcache_roundtrip;
           Alcotest.test_case "mirror fetch + checksum verification" `Quick
             mirror_fetching;
+          Alcotest.test_case "summary classification" `Quick
+            summary_classification;
+          Alcotest.test_case "buildcache hit/miss accounting" `Quick
+            cache_accounting;
+          Alcotest.test_case "staging failures counted typed" `Quick
+            staging_failure_accounting;
         ] );
     ]
