@@ -594,6 +594,135 @@ let obs_mode path =
     (List.length fig10_packages)
     path
 
+(* `main.exe parallel [PATH]` — the parallel-install benchmark: replay
+   the Fig. 10/11 workloads (each package's DAG, plus the whole seven-
+   package suite as one batch) through the deterministic virtual-time
+   worker pool at -j 1/2/4/8 on both filesystem models. For every
+   workload the store must be byte-identical across -j levels — the
+   scheduler's cornerstone invariant — and the suite must show real
+   makespan speedup. *)
+let parallel_mode path =
+  let module Json = Ospack_json.Json in
+  let repo = Universe.repository () in
+  let ctx = universe_ctx () in
+  let concrete name =
+    match Concretizer.concretize_string ctx name with
+    | Ok c -> c
+    | Error e -> failwith (name ^ ": " ^ e)
+  in
+  let jobs_list = [ 1; 2; 4; 8 ] in
+  let run_workload ~name ~specs ~fs ~fs_name =
+    let run j =
+      let inst =
+        Installer.create ~fs ~vfs:(Vfs.create ()) ~repo
+          ~compilers:Universe.compilers ()
+      in
+      match Installer.install_parallel inst ~jobs:j specs with
+      | Error e -> failwith (Printf.sprintf "%s -j%d: %s" name j e)
+      | Ok r ->
+          if r.Installer.pr_failures <> [] then
+            failwith
+              (Printf.sprintf "%s -j%d: %s" name j
+                 (Installer.failures_to_string r.Installer.pr_failures));
+          let index =
+            Json.to_string (Database.to_json (Installer.database inst))
+          in
+          (r, index)
+    in
+    let results = List.map run jobs_list in
+    let r1, index1 = List.hd results in
+    if abs_float (r1.Installer.pr_makespan -. r1.Installer.pr_serial_seconds)
+       > 1e-9
+    then failwith (name ^ ": -j1 makespan must equal the serialized time");
+    List.iter
+      (fun (r, index) ->
+        if index <> index1 then
+          failwith
+            (Printf.sprintf "%s on %s: store diverged between -j1 and -j%d"
+               name fs_name r.Installer.pr_jobs);
+        if
+          abs_float
+            (r.Installer.pr_serial_seconds -. r1.Installer.pr_serial_seconds)
+          > 1e-9
+        then
+          failwith
+            (Printf.sprintf "%s on %s: serialized time drifted across -j levels"
+               name fs_name))
+      results;
+    let speedup_at j =
+      let rec idx i = function
+        | [] -> failwith "unknown -j level"
+        | x :: rest -> if x = j then i else idx (i + 1) rest
+      in
+      let r, _ = List.nth results (idx 0 jobs_list) in
+      Installer.parallel_speedup r
+    in
+    let json =
+      Json.Obj
+        [
+          ("workload", Json.String name);
+          ("fs", Json.String fs_name);
+          ("nodes", Json.Int (List.length r1.Installer.pr_outcomes));
+          ("serial_seconds", Json.Float r1.Installer.pr_serial_seconds);
+          ( "jobs",
+            Json.List
+              (List.map2
+                 (fun j (r, _) ->
+                   Json.Obj
+                     [
+                       ("j", Json.Int j);
+                       ("makespan_seconds", Json.Float r.Installer.pr_makespan);
+                       ("speedup", Json.Float (Installer.parallel_speedup r));
+                     ])
+                 jobs_list results) );
+          ("store_identical_across_jobs", Json.Bool true);
+        ]
+    in
+    (json, speedup_at 4)
+  in
+  let fs_models = [ (Fsmodel.nfs, "nfs"); (Fsmodel.tmpfs, "tmpfs") ] in
+  let cells =
+    List.concat_map
+      (fun (fs, fs_name) ->
+        List.map
+          (fun (name, _, _) ->
+            run_workload ~name ~specs:[ concrete name ] ~fs ~fs_name)
+          fig10_packages
+        @ [
+            run_workload ~name:"fig10-suite"
+              ~specs:(List.map (fun (n, _, _) -> concrete n) fig10_packages)
+              ~fs ~fs_name;
+          ])
+      fs_models
+  in
+  let best =
+    List.fold_left (fun m (_, s) -> max m s) 0.0 cells
+  in
+  if best < 1.5 then
+    failwith
+      (Printf.sprintf
+         "no workload reached 1.5x speedup at -j4 (best %.2fx)" best);
+  let doc =
+    Json.Obj
+      [
+        ("format", Json.Int 1);
+        ("jobs_levels", Json.List (List.map (fun j -> Json.Int j) jobs_list));
+        ("workloads", Json.List (List.map fst cells));
+      ]
+  in
+  let oc = open_out path in
+  output_string oc (Json.to_string ~indent:2 doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf
+    "wrote %d workloads ((%d packages + suite) x 2 fs models x -j %s) to %s\n"
+    (List.length cells)
+    (List.length fig10_packages)
+    (String.concat "/" (List.map string_of_int jobs_list))
+    path;
+  Printf.printf "best -j4 speedup: %.2fx (store identical across all levels)\n"
+    best
+
 let default_run () =
   Printf.printf
     "ospack benchmark harness — reproduces every table and figure of the \
@@ -615,4 +744,6 @@ let () =
   match Sys.argv with
   | [| _; "obs" |] -> obs_mode "BENCH_obs.json"
   | [| _; "obs"; path |] -> obs_mode path
+  | [| _; "parallel" |] -> parallel_mode "BENCH_parallel.json"
+  | [| _; "parallel"; path |] -> parallel_mode path
   | _ -> default_run ()

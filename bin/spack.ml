@@ -76,6 +76,26 @@ let install_cmd =
       & info [ "backtrack" ]
           ~doc:"Fall back to the backtracking solver on greedy conflicts.")
   in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Install with $(docv) simulated parallel workers: independent \
+             DAG nodes build concurrently on the virtual clock and the \
+             makespan is reported against the serialized time. The \
+             schedule is deterministic — every -j level produces the \
+             same store and index.")
+  in
+  let index_out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "index-out" ] ~docv:"FILE"
+          ~doc:
+            "After the install, write the store's database index (the \
+             on-disk index.json) to $(docv) on the real filesystem — \
+             lets CI compare store state across runs and -j levels.")
+  in
   let trace =
     Arg.(
       value & opt (some string) None
@@ -92,7 +112,7 @@ let install_cmd =
       & info [ "timings" ]
           ~doc:"Print a per-phase timing table after the install.")
   in
-  let run backtrack trace timings parts =
+  let run backtrack jobs index_out trace timings parts =
     let recording = trace <> None || timings in
     let obs = if recording then Obs.create () else Obs.disabled in
     let ctx =
@@ -100,23 +120,39 @@ let install_cmd =
         Ospack.Context.create ~cache_root:"/ospack/buildcache" ~obs ()
       else Lazy.force ctx
     in
-    match Ospack.install ~backtrack ctx (join_spec parts) with
+    let write_index path =
+      let db = Installer.database ctx.Ospack.Context.installer in
+      let oc = open_out path in
+      output_string oc (Json.to_string ~indent:2 (Database.to_json db));
+      output_char oc '\n';
+      close_out oc
+    in
+    match Ospack.install ~backtrack ~jobs ctx (join_spec parts) with
     | Ok report ->
         Format.printf "==> concretized:@.%s@."
           (Concrete.tree_string report.Ospack.Commands.ir_spec);
         print_outcomes report.Ospack.Commands.ir_outcomes;
+        (match report.Ospack.Commands.ir_parallel with
+        | Some p ->
+            Format.printf "==> %s@." (Installer.parallel_summary_to_string p)
+        | None -> ());
         if timings then print_string (Obs.timings_table obs);
         (match trace with
         | None -> ()
         | Some path ->
             write_trace obs path;
             Format.printf "==> trace written to %s@." path);
+        Option.iter write_index index_out;
         0
-    | Error e -> report_error e
+    | Error e ->
+        (* the index still reflects every node that completed *)
+        Option.iter write_index index_out;
+        report_error e
   in
   Cmd.v
     (Cmd.info "install" ~doc:"Concretize and install a spec.")
-    Term.(const run $ backtrack $ trace $ timings $ spec_arg)
+    Term.(
+      const run $ backtrack $ jobs $ index_out $ trace $ timings $ spec_arg)
 
 let spec_cmd =
   let explain =

@@ -25,6 +25,22 @@ cmp "$obs_tmp/trace1.json" "$obs_tmp/trace2.json"
     --expect "install libdwarf"
 ./_build/default/bench/main.exe obs BENCH_obs.json
 
+echo "== parallel smoke: -j4 deterministic, store identical to -j1, regenerate BENCH_parallel.json"
+# the parallel scheduler must be deterministic (two -j4 runs byte-identical,
+# trace included) and must leave exactly the store a serial install leaves
+par_tmp=_build/parallel-smoke
+mkdir -p "$par_tmp"
+./_build/default/bin/spack.exe install -j 4 --trace "$par_tmp/trace1.json" \
+    --index-out "$par_tmp/index-j4a.json" mpileaks > /dev/null
+./_build/default/bin/spack.exe install -j 4 --trace "$par_tmp/trace2.json" \
+    --index-out "$par_tmp/index-j4b.json" mpileaks > /dev/null
+./_build/default/bin/spack.exe install -j 1 \
+    --index-out "$par_tmp/index-j1.json" mpileaks > /dev/null
+cmp "$par_tmp/trace1.json" "$par_tmp/trace2.json"
+cmp "$par_tmp/index-j4a.json" "$par_tmp/index-j4b.json"
+cmp "$par_tmp/index-j1.json" "$par_tmp/index-j4a.json"
+./_build/default/bench/main.exe parallel BENCH_parallel.json
+
 echo "== checking for stray _build files in git"
 # nothing under _build/ may be tracked, and none may appear in git status
 # (deletions are fine — that is _build being purged, not committed)

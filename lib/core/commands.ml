@@ -23,6 +23,7 @@ type install_report = {
   ir_spec : Concrete.t;
   ir_outcomes : Installer.outcome list;
   ir_summary : Installer.summary;
+  ir_parallel : Installer.parallel_report option;
 }
 
 let ( let* ) = Result.bind
@@ -82,14 +83,15 @@ let best_installed (ctx : Context.t) ast =
       | Some b -> if better r b then Some r else best)
     None candidates
 
-let report spec outcomes =
+let report ?parallel spec outcomes =
   {
     ir_spec = spec;
     ir_outcomes = outcomes;
     ir_summary = Installer.summary_of_outcomes outcomes;
+    ir_parallel = parallel;
   }
 
-let install ?backtrack ?(fresh = false) (ctx : Context.t) text =
+let install ?backtrack ?(fresh = false) ?(jobs = 1) (ctx : Context.t) text =
   let* ast = Parser.parse text in
   match if fresh then None else best_installed ctx ast with
   | Some record ->
@@ -104,11 +106,23 @@ let install ?backtrack ?(fresh = false) (ctx : Context.t) text =
         Obs.span ctx.obs ~cat:"concretize" "concretize" (fun () ->
             concretize_ast ?backtrack ctx ast)
       in
-      let* outcomes =
-        Obs.span ctx.obs ~cat:"install" "install" (fun () ->
-            Installer.install ctx.installer concrete)
-      in
-      Ok (report concrete outcomes)
+      if jobs <= 1 then
+        let* outcomes =
+          Obs.span ctx.obs ~cat:"install" "install" (fun () ->
+              Installer.install ctx.installer concrete)
+        in
+        Ok (report concrete outcomes)
+      else
+        let* preport =
+          Obs.span ctx.obs ~cat:"install" "install" (fun () ->
+              Installer.install_parallel ctx.installer ~jobs [ concrete ])
+        in
+        match preport.Installer.pr_failures with
+        | [] ->
+            Ok
+              (report ~parallel:preport concrete
+                 preport.Installer.pr_outcomes)
+        | failures -> Error (Installer.failures_to_string failures)
 
 let starts_with ~prefix s =
   String.length s >= String.length prefix

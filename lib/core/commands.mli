@@ -10,11 +10,15 @@
 type install_report = {
   ir_spec : Ospack_spec.Concrete.t;  (** what was concretized *)
   ir_outcomes : Ospack_store.Installer.outcome list;
-      (** per-node results, dependencies first *)
+      (** per-node results, dependencies first (completion order for a
+          parallel install) *)
   ir_summary : Ospack_store.Installer.summary;
       (** typed classification of the outcomes (built / reused /
           cache hits / cache misses / externals) — the CLI's one-line
           install summary, never derived by string matching *)
+  ir_parallel : Ospack_store.Installer.parallel_report option;
+      (** scheduler report (makespan, schedule, speedup) when the
+          install ran on the parallel worker pool ([jobs > 1]) *)
 }
 
 val spec : Context.t -> string -> (Ospack_spec.Concrete.t, string) result
@@ -30,11 +34,17 @@ val spec_explain :
 val install :
   ?backtrack:bool ->
   ?fresh:bool ->
+  ?jobs:int ->
   Context.t ->
   string ->
   (install_report, string) result
 (** Concretize and install ([spack install]). [backtrack] enables the
     backtracking solver when greedy concretization fails (§4.5).
+    [jobs > 1] routes through the deterministic parallel scheduler
+    ({!Ospack_store.Installer.install_parallel}, [spack install -j N]):
+    outcomes arrive in completion order, the report carries the
+    scheduler's makespan, and any node failures aggregate into one
+    rendered multi-failure error.
 
     Unless [fresh] is set, an abstract request already satisfied by an
     installed configuration reuses it without re-concretizing — §3.2.3:

@@ -28,50 +28,68 @@ let save t ~install_root (record : Database.record) =
   if has t ~hash:record.Database.r_hash then Ok ()
   else
     let prefix = record.Database.r_prefix in
-    let files =
-      Vfs.walk t.vfs prefix
-      |> List.filter_map (fun (path, kind) ->
-             let plen = String.length prefix + 1 in
-             let rel = String.sub path plen (String.length path - plen) in
-             match kind with
-             | Vfs.Dir -> None
-             | Vfs.File -> (
-                 match Vfs.read_file t.vfs path with
-                 | Ok content ->
-                     Some
-                       (Json.Obj
-                          [
-                            ("rel", Json.String rel);
-                            ("kind", Json.String "file");
-                            ("content", Json.String content);
-                          ])
-                 | Error _ -> None)
-             | Vfs.Symlink -> (
-                 match Vfs.readlink t.vfs path with
-                 | Ok target ->
-                     Some
-                       (Json.Obj
-                          [
-                            ("rel", Json.String rel);
-                            ("kind", Json.String "link");
-                            ("content", Json.String target);
-                          ])
-                 | Error _ -> None))
-    in
-    let entry =
-      Json.Obj
-        [
-          ("format", Json.Int 1);
-          ("install_root", Json.String install_root);
-          ("prefix", Json.String prefix);
-          ("spec", Concrete.to_json record.Database.r_spec);
-          ("files", Json.List files);
-        ]
-    in
-    Result.map_error Vfs.error_to_string
-      (Vfs.write_file t.vfs
-         (entry_path t record.Database.r_hash)
-         (Json.to_string entry))
+    if not (Vfs.is_dir t.vfs prefix) then
+      Error
+        (Printf.sprintf "buildcache: prefix %s of %s is not a directory" prefix
+           record.Database.r_hash)
+    else
+      (* every walk entry must archive; a file we cannot read is an error,
+         not a silent omission — a truncated entry would later extract
+         "successfully" into a broken prefix. Directories are archived too
+         so empty ones survive the round trip. *)
+      let* rev_files =
+        List.fold_left
+          (fun acc (path, kind) ->
+            let* acc = acc in
+            let plen = String.length prefix + 1 in
+            let rel = String.sub path plen (String.length path - plen) in
+            let entry kind content =
+              Json.Obj
+                [
+                  ("rel", Json.String rel);
+                  ("kind", Json.String kind);
+                  ("content", Json.String content);
+                ]
+            in
+            match kind with
+            | Vfs.Dir -> Ok (entry "dir" "" :: acc)
+            | Vfs.File -> (
+                match Vfs.read_file t.vfs path with
+                | Ok content -> Ok (entry "file" content :: acc)
+                | Error e ->
+                    Error
+                      (Printf.sprintf "buildcache: %s: %s" path
+                         (Vfs.error_to_string e)))
+            | Vfs.Symlink -> (
+                match Vfs.readlink t.vfs path with
+                | Ok target -> Ok (entry "link" target :: acc)
+                | Error e ->
+                    Error
+                      (Printf.sprintf "buildcache: %s: %s" path
+                         (Vfs.error_to_string e))))
+          (Ok []) (Vfs.walk t.vfs prefix)
+      in
+      let files = List.rev rev_files in
+      if files = [] then
+        Error
+          (Printf.sprintf "buildcache: refusing to archive empty prefix %s"
+             prefix)
+      else
+        let entry =
+          Json.Obj
+            [
+              ("format", Json.Int 1);
+              ("install_root", Json.String install_root);
+              ("prefix", Json.String prefix);
+              ("spec", Concrete.to_json record.Database.r_spec);
+              ("file_count", Json.Int (List.length files));
+              ("files", Json.List files);
+            ]
+        in
+        Result.map_error Vfs.error_to_string
+          (Vfs.write_file t.vfs
+             (entry_path t record.Database.r_hash)
+             (Json.to_string entry))
 
 (* textual relocation: every embedded occurrence of the cached install
    root becomes the target root *)
@@ -119,6 +137,19 @@ let extract t ~hash ~install_root ~prefix =
     | Some items -> Ok items
     | None -> Error "buildcache: entry missing files"
   in
+  (* completeness guard: an entry whose file list does not match its
+     recorded count is truncated (partial write, hand-editing) and must
+     not extract into a plausible-looking but incomplete prefix *)
+  let* () =
+    match Option.bind (Json.member "file_count" entry) Json.get_int with
+    | None -> Ok () (* legacy entry predating the count *)
+    | Some expected when expected = List.length files -> Ok ()
+    | Some expected ->
+        Error
+          (Printf.sprintf
+             "buildcache: truncated entry %s: %d files listed, %d expected"
+             hash (List.length files) expected)
+  in
   let reloc = relocate ~from_root ~to_root:install_root in
   List.fold_left
     (fun acc item ->
@@ -133,13 +164,32 @@ let extract t ~hash ~install_root ~prefix =
       let* content = get "content" in
       let dest = prefix ^ "/" ^ rel in
       match kind with
+      | "dir" -> Result.map_error Vfs.error_to_string (Vfs.mkdir_p t.vfs dest)
       | "file" ->
           Result.map_error Vfs.error_to_string
             (Vfs.write_file t.vfs dest (reloc content))
       | "link" -> (
-          match Vfs.symlink t.vfs ~target:(reloc content) ~link:dest with
+          let target = reloc content in
+          let recreate () =
+            let* () =
+              Result.map_error Vfs.error_to_string
+                (Vfs.remove t.vfs ~recursive:true dest)
+            in
+            Result.map_error Vfs.error_to_string
+              (Vfs.symlink t.vfs ~target ~link:dest)
+          in
+          match Vfs.symlink t.vfs ~target ~link:dest with
           | Ok () -> Ok ()
-          | Error (Vfs.Already_exists _) -> Ok () (* re-extract *)
+          | Error (Vfs.Already_exists _) -> (
+              (* re-extract: keep an identical link, but never a stale one
+                 whose target (e.g. under a different install root) changed,
+                 and never a non-link squatting on the path *)
+              match Vfs.kind_of t.vfs dest with
+              | Some Vfs.Symlink -> (
+                  match Vfs.readlink t.vfs dest with
+                  | Ok existing when existing = target -> Ok ()
+                  | Ok _ | Error _ -> recreate ())
+              | _ -> recreate ())
           | Error e -> Error (Vfs.error_to_string e))
       | other -> Error ("buildcache: unknown entry kind " ^ other))
     (Ok ()) files

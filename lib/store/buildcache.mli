@@ -21,7 +21,12 @@ val save :
   install_root:string ->
   Database.record ->
   (unit, string) result
-(** Archive an installed record's prefix (idempotent per hash). *)
+(** Archive an installed record's prefix (idempotent per hash). Every
+    entry of the prefix walk must archive: an unreadable file or symlink
+    is an error (never a silent omission), an empty or missing prefix is
+    rejected, and directories are archived too so empty ones survive the
+    round trip. The entry records its file count so truncation is
+    detectable at extraction. *)
 
 val has : t -> hash:string -> bool
 
@@ -36,4 +41,10 @@ val extract :
   (Ospack_spec.Concrete.t, string) result
 (** Materialize a cached build into [prefix], relocating every embedded
     occurrence of the cached install root to [install_root]. Returns the
-    stored concrete spec. *)
+    stored concrete spec.
+
+    Entries whose file list does not match their recorded count are
+    rejected as truncated. Re-extraction is idempotent: an existing
+    symlink is kept only when its target matches the (relocated) cached
+    target; a stale link — or a non-link squatting on the path — is
+    removed and re-created. *)

@@ -159,6 +159,19 @@ let external_record t sub name ~explicit =
         }
   | _ -> None
 
+(* Typed per-node errors: the builder's own error type for build
+   failures, a rendered message for everything else (cache extraction,
+   missing package definitions). The parallel scheduler aggregates these
+   into a multi-failure report; the serial path renders them to the
+   historical strings. *)
+type node_error =
+  | Build_failure of Builder.error
+  | Install_failure of string
+
+let node_error_to_string = function
+  | Build_failure e -> Builder.error_to_string e
+  | Install_failure msg -> msg
+
 let install_node t spec name ~explicit =
   let sub = Concrete.subspec spec name in
   let hash = Concrete.root_hash sub in
@@ -204,7 +217,8 @@ let install_node t spec name ~explicit =
       match
         Buildcache.extract cache ~hash ~install_root:t.install_root ~prefix
       with
-      | Error e -> Error (Printf.sprintf "buildcache %s: %s" name e)
+      | Error e ->
+          Error (Install_failure (Printf.sprintf "buildcache %s: %s" name e))
       | Ok _stored_spec ->
           (* relocation rewrote file contents, so re-manifest the prefix *)
           Provenance.write_manifest t.vfs ~prefix;
@@ -236,7 +250,10 @@ let install_node t spec name ~explicit =
       let* pkg =
         match Repository.find t.repo name with
         | Some p -> Ok p
-        | None -> Error (Printf.sprintf "no package definition for %s" name)
+        | None ->
+            Error
+              (Install_failure
+                 (Printf.sprintf "no package definition for %s" name))
       in
       let prefix = prefix_of t spec name in
       let dep_prefix dep =
@@ -253,7 +270,7 @@ let install_node t spec name ~explicit =
                 t.st.st_staging_failures <- t.st.st_staging_failures + 1;
                 Obs.count t.obs "install.staging_failures" 1
             | Builder.Missing_dep _ | Builder.Step_failed _ -> ());
-            Builder.error_to_string e)
+            Build_failure e)
           (Builder.build ~obs:t.obs ~vfs:t.vfs ~fs:t.fs
              ~compilers:t.compilers ~use_wrappers:t.use_wrappers
              ~mirror:t.mirror ~stage_root:t.stage_root ~spec:sub ~node:name
@@ -289,16 +306,331 @@ let install t ?(explicit = true) spec =
   let order = Concrete.topological_order spec in
   let root = Concrete.root spec in
   let rec go acc = function
-    | [] ->
-        save_index t;
-        Ok (List.rev acc)
-    | name :: rest ->
-        let* outcome =
-          install_node t spec name ~explicit:(explicit && name = root)
-        in
-        go (outcome :: acc) rest
+    | [] -> Ok (List.rev acc)
+    | name :: rest -> (
+        match install_node t spec name ~explicit:(explicit && name = root) with
+        | Error e ->
+            (* crash consistency: the nodes that completed before the
+               failure must stay visible to a fresh process, or their
+               prefixes become unindexed orphans *)
+            save_index t;
+            Error (node_error_to_string e)
+        | Ok outcome ->
+            save_index t;
+            go (outcome :: acc) rest)
   in
   go [] order
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic parallel installation: a virtual-time worker-pool
+   simulation. [jobs] simulated workers pull ready DAG nodes (all
+   dependencies done) off a priority queue ordered by first-occurrence
+   topological index, so the schedule — and therefore the trace — is a
+   pure function of the input DAGs and [jobs]. Builds still execute
+   sequentially in this process (the build simulator charges virtual
+   seconds, not wall time); the scheduler overlaps those virtual
+   durations across workers to compute the makespan a real [-j N]
+   install would achieve. A failed node poisons only its transitive
+   dependents; independent subtrees keep building, and every completed
+   node is persisted to the on-disk index immediately. *)
+
+type failure =
+  | Failed of { f_node : string; f_hash : string; f_error : node_error }
+  | Poisoned of {
+      p_node : string;
+      p_hash : string;
+      p_failed_deps : string list;
+    }
+
+type slot = {
+  sl_node : string;
+  sl_hash : string;
+  sl_worker : int;
+  sl_start : float;
+  sl_finish : float;
+}
+
+type parallel_report = {
+  pr_jobs : int;
+  pr_outcomes : outcome list;
+  pr_failures : failure list;
+  pr_schedule : slot list;
+  pr_makespan : float;
+  pr_serial_seconds : float;
+}
+
+let failure_to_string = function
+  | Failed { f_node; f_error; _ } ->
+      Printf.sprintf "%s: %s" f_node (node_error_to_string f_error)
+  | Poisoned { p_node; p_failed_deps; _ } ->
+      Printf.sprintf "%s: not built (failed dependencies: %s)" p_node
+        (String.concat ", " p_failed_deps)
+
+let failures_to_string = function
+  | [] -> "no failures"
+  | fs ->
+      let failed =
+        List.length
+          (List.filter (function Failed _ -> true | Poisoned _ -> false) fs)
+      in
+      let poisoned = List.length fs - failed in
+      let header =
+        if poisoned = 0 then Printf.sprintf "%d node(s) failed" failed
+        else
+          Printf.sprintf
+            "%d node(s) failed (%d more not built because a dependency failed)"
+            failed poisoned
+      in
+      header ^ ":\n"
+      ^ String.concat "\n" (List.map (fun f -> "  " ^ failure_to_string f) fs)
+
+let parallel_speedup r =
+  if r.pr_makespan > 0.0 then r.pr_serial_seconds /. r.pr_makespan else 1.0
+
+let parallel_summary_to_string r =
+  Printf.sprintf "makespan %.1f s vs %.1f s serialized (%.2fx at -j%d)"
+    r.pr_makespan r.pr_serial_seconds (parallel_speedup r) r.pr_jobs
+
+(* one merged scheduling node; specs sharing a sub-DAG hash share it *)
+type pnode = {
+  pn_name : string;
+  pn_hash : string;
+  pn_spec : Concrete.t;  (** the spec this node is installed from *)
+  mutable pn_explicit : bool;
+  pn_deps : int list;  (** indices into the node table *)
+}
+
+module ISet = Set.Make (Int)
+
+let install_parallel t ?(explicit = true) ~jobs specs =
+  if jobs < 1 then
+    Error (Printf.sprintf "install: jobs must be >= 1 (got %d)" jobs)
+  else begin
+    (* merge the spec DAGs into one table keyed by sub-DAG hash; the
+       first occurrence fixes the node's deterministic dispatch priority *)
+    let index_of = Hashtbl.create 64 in
+    let rev_infos = ref [] in
+    let n_nodes = ref 0 in
+    List.iter
+      (fun spec ->
+        let root = Concrete.root spec in
+        List.iter
+          (fun name ->
+            let hash = Concrete.dag_hash spec name in
+            let is_explicit = explicit && name = root in
+            match Hashtbl.find_opt index_of hash with
+            | Some idx ->
+                if is_explicit then begin
+                  let nd = List.nth !rev_infos (!n_nodes - 1 - idx) in
+                  nd.pn_explicit <- true
+                end
+            | None ->
+                let deps =
+                  List.map
+                    (fun dep ->
+                      Hashtbl.find index_of (Concrete.dag_hash spec dep))
+                    (Concrete.node_exn spec name).Concrete.deps
+                in
+                Hashtbl.add index_of hash !n_nodes;
+                rev_infos :=
+                  {
+                    pn_name = name;
+                    pn_hash = hash;
+                    pn_spec = spec;
+                    pn_explicit = is_explicit;
+                    pn_deps = deps;
+                  }
+                  :: !rev_infos;
+                incr n_nodes)
+          (Concrete.topological_order spec))
+      specs;
+    let nodes = Array.of_list (List.rev !rev_infos) in
+    let n = Array.length nodes in
+    let dependents = Array.make (max n 1) [] in
+    Array.iteri
+      (fun i nd ->
+        List.iter (fun d -> dependents.(d) <- i :: dependents.(d)) nd.pn_deps)
+      nodes;
+    Array.iteri (fun i l -> dependents.(i) <- List.rev l) dependents;
+    Obs.span t.obs ~cat:"sched"
+      ~args:
+        [ ("jobs", string_of_int jobs); ("nodes", string_of_int n) ]
+      "schedule"
+    @@ fun () ->
+    let pending = Array.map (fun nd -> List.length nd.pn_deps) nodes in
+    (* W(aiting) R(eady) B(uilding) D(one) F(ailed) P(oisoned) *)
+    let state = Array.make (max n 1) 'W' in
+    let poison_cause = Array.make (max n 1) [] in
+    let node_outcome = Array.make (max n 1) None in
+    let ready = ref ISet.empty in
+    Array.iteri
+      (fun i p ->
+        if p = 0 then begin
+          state.(i) <- 'R';
+          ready := ISet.add i !ready
+        end)
+      pending;
+    let worker_free = Array.make jobs 0.0 in
+    let running = ref [] (* (finish, idx, worker), ascending *) in
+    let now = ref 0.0 in
+    let rev_outcomes = ref [] in
+    let rev_slots = ref [] in
+    let rev_failed = ref [] in
+    let serial = ref 0.0 in
+    let makespan = ref 0.0 in
+    let poison idx =
+      (* BFS over dependents: everything downstream of a failed node is
+         skipped, charged to this failure *)
+      let failed_name = nodes.(idx).pn_name in
+      let rec go = function
+        | [] -> ()
+        | i :: rest ->
+            let next =
+              List.filter
+                (fun d ->
+                  match state.(d) with
+                  | 'W' | 'P' ->
+                      if not (List.mem failed_name poison_cause.(d)) then begin
+                        state.(d) <- 'P';
+                        poison_cause.(d) <-
+                          failed_name :: poison_cause.(d);
+                        true
+                      end
+                      else false
+                  | _ -> false)
+                dependents.(i)
+            in
+            go (rest @ next)
+      in
+      go [ idx ]
+    in
+    let pick_worker busy =
+      let best = ref (-1) in
+      for i = 0 to jobs - 1 do
+        if not (ISet.mem i busy) then
+          match !best with
+          | -1 -> best := i
+          | b -> if worker_free.(i) < worker_free.(b) then best := i
+      done;
+      !best
+    in
+    let dispatch () =
+      let idx = ISet.min_elt !ready in
+      ready := ISet.remove idx !ready;
+      let nd = nodes.(idx) in
+      let busy =
+        List.fold_left (fun s (_, _, w) -> ISet.add w s) ISet.empty !running
+      in
+      let w = pick_worker busy in
+      let start = !now in
+      Obs.observe t.obs "sched.idle_seconds" (start -. worker_free.(w));
+      Obs.observe t.obs "sched.ready_queue"
+        (float_of_int (ISet.cardinal !ready + 1));
+      Obs.count t.obs "sched.dispatches" 1;
+      let result =
+        Obs.span t.obs ~cat:"sched"
+          ~args:
+            [
+              ("node", nd.pn_name);
+              ("vstart", Printf.sprintf "%.6f" start);
+            ]
+          (Printf.sprintf "worker %d" w)
+        @@ fun () -> install_node t nd.pn_spec nd.pn_name ~explicit:nd.pn_explicit
+      in
+      (* crash consistency: persist after every node, success or not *)
+      save_index t;
+      match result with
+      | Ok o ->
+          (* a reused record carries its historical build time; replaying
+             it costs nothing on this install's clock *)
+          let dur =
+            if o.o_reused then 0.0 else o.o_record.Database.r_build_seconds
+          in
+          serial := !serial +. dur;
+          let finish = start +. dur in
+          state.(idx) <- 'B';
+          node_outcome.(idx) <- Some o;
+          worker_free.(w) <- finish;
+          rev_slots :=
+            {
+              sl_node = nd.pn_name;
+              sl_hash = nd.pn_hash;
+              sl_worker = w;
+              sl_start = start;
+              sl_finish = finish;
+            }
+            :: !rev_slots;
+          let entry = (finish, idx, w) in
+          running :=
+            List.merge
+              (fun (f1, i1, _) (f2, i2, _) -> compare (f1, i1) (f2, i2))
+              [ entry ] !running
+      | Error e ->
+          state.(idx) <- 'F';
+          worker_free.(w) <- start;
+          makespan := max !makespan start;
+          Obs.count t.obs "sched.failures" 1;
+          rev_failed :=
+            Failed { f_node = nd.pn_name; f_hash = nd.pn_hash; f_error = e }
+            :: !rev_failed;
+          poison idx
+    in
+    let complete () =
+      match !running with
+      | [] -> assert false
+      | (finish, idx, w) :: rest ->
+          running := rest;
+          now := finish;
+          worker_free.(w) <- finish;
+          makespan := max !makespan finish;
+          state.(idx) <- 'D';
+          (match node_outcome.(idx) with
+          | Some o -> rev_outcomes := o :: !rev_outcomes
+          | None -> assert false);
+          List.iter
+            (fun d ->
+              if state.(d) = 'W' then begin
+                pending.(d) <- pending.(d) - 1;
+                if pending.(d) = 0 then begin
+                  state.(d) <- 'R';
+                  ready := ISet.add d !ready
+                end
+              end)
+            dependents.(idx)
+    in
+    let rec loop () =
+      if (not (ISet.is_empty !ready)) && List.length !running < jobs then begin
+        dispatch ();
+        loop ()
+      end
+      else if !running <> [] then begin
+        complete ();
+        loop ()
+      end
+    in
+    loop ();
+    let poisoned = ref [] in
+    for i = n - 1 downto 0 do
+      if state.(i) = 'P' then
+        poisoned :=
+          Poisoned
+            {
+              p_node = nodes.(i).pn_name;
+              p_hash = nodes.(i).pn_hash;
+              p_failed_deps = List.sort String.compare poison_cause.(i);
+            }
+          :: !poisoned
+    done;
+    Ok
+      {
+        pr_jobs = jobs;
+        pr_outcomes = List.rev !rev_outcomes;
+        pr_failures = List.rev !rev_failed @ !poisoned;
+        pr_schedule = List.rev !rev_slots;
+        pr_makespan = !makespan;
+        pr_serial_seconds = !serial;
+      }
+  end
 
 type summary = {
   s_built : int;

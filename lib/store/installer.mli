@@ -79,7 +79,92 @@ val install :
 (** Install a concrete spec: one outcome per DAG node in install
     (dependencies-first) order. The root's record is marked explicit
     (unless [~explicit:false]). On a build failure nothing after the
-    failing node is installed. *)
+    failing node is installed.
+
+    Crash consistency: the on-disk index is persisted after {e every}
+    node — including on the error path — so nodes that completed before
+    a mid-DAG failure are never left as unindexed orphan prefixes. *)
+
+type node_error =
+  | Build_failure of Ospack_buildsim.Builder.error
+      (** the builder's typed error (staging / missing dep / step) *)
+  | Install_failure of string
+      (** non-build failure: cache extraction, missing package definition *)
+
+val node_error_to_string : node_error -> string
+(** Renders exactly the historical string errors of {!install}. *)
+
+type failure =
+  | Failed of { f_node : string; f_hash : string; f_error : node_error }
+      (** the node itself failed to build / extract *)
+  | Poisoned of {
+      p_node : string;
+      p_hash : string;
+      p_failed_deps : string list;  (** sorted names of the failed causes *)
+    }
+      (** never attempted because a transitive dependency failed *)
+
+type slot = {
+  sl_node : string;
+  sl_hash : string;
+  sl_worker : int;  (** [0 .. jobs-1] *)
+  sl_start : float;  (** virtual seconds *)
+  sl_finish : float;
+}
+(** One dispatch decision of the parallel scheduler. *)
+
+type parallel_report = {
+  pr_jobs : int;
+  pr_outcomes : outcome list;  (** completed nodes, completion order *)
+  pr_failures : failure list;
+      (** failed nodes in dispatch order, then poisoned nodes in
+          priority order; empty = full success *)
+  pr_schedule : slot list;  (** dispatch order *)
+  pr_makespan : float;  (** virtual end-to-end seconds at [-j jobs] *)
+  pr_serial_seconds : float;  (** sum of node durations ([-j1] makespan) *)
+}
+
+val install_parallel :
+  t ->
+  ?explicit:bool ->
+  jobs:int ->
+  Ospack_spec.Concrete.t list ->
+  (parallel_report, string) result
+(** Install one or more concrete specs on a virtual-time pool of [jobs]
+    simulated workers. Node DAGs are merged by sub-DAG hash (shared
+    sub-DAGs schedule once); ready nodes (all dependencies done)
+    dispatch in first-occurrence topological priority order to the
+    longest-idle worker, so the schedule is a pure function of the
+    input and [jobs] — every [-j] level produces identical database
+    records, hashes, and store bytes, and (with tracing on)
+    byte-identical traces run-to-run. At [jobs = 1] the dispatch order
+    is exactly {!install}'s topological order.
+
+    Failure handling is not fail-stop: a failed node poisons only its
+    transitive dependents while independent subtrees keep building, and
+    all failures aggregate into the typed [pr_failures] report. The
+    on-disk index is persisted after every node attempt. [Error _] is
+    returned only for invalid arguments ([jobs < 1]); build failures
+    land in [pr_failures].
+
+    Observability (when [obs] is enabled): a [schedule] span (cat
+    [sched], args [jobs]/[nodes]) wrapping one [worker <i>] span per
+    dispatch (nesting the node's [install <name>] span), the
+    [sched.ready_queue] and [sched.idle_seconds] histograms sampled at
+    each dispatch, and [sched.dispatches] / [sched.failures]
+    counters. *)
+
+val failure_to_string : failure -> string
+
+val failures_to_string : failure list -> string
+(** Multi-line rendering: a header counting failed and poisoned nodes,
+    then one indented line per failure. *)
+
+val parallel_speedup : parallel_report -> float
+(** [pr_serial_seconds /. pr_makespan] ([1.0] for an empty schedule). *)
+
+val parallel_summary_to_string : parallel_report -> string
+(** ["makespan X s vs Y s serialized (Zx at -jN)"]. *)
 
 val uninstall : t -> hash:string -> (Database.record, string) result
 (** Remove an installed record and its prefix. Fails (removing nothing)

@@ -356,6 +356,148 @@ let buildcache_roundtrip () =
         pulled_root.Database.r_hash (Concrete.root_hash stored)
   | Error e -> Alcotest.failf "provenance after pull: %s" e
 
+(* save must propagate problems instead of silently skipping entries:
+   a record pointing at nothing, or at an empty tree, is an error *)
+let buildcache_save_errors () =
+  let vfs = Vfs.create () in
+  let cache = Ospack_store.Buildcache.create vfs ~root:"/cache" in
+  let spec = concretize "libelf" in
+  let record prefix =
+    {
+      Database.r_spec = spec;
+      r_hash = Concrete.root_hash spec;
+      r_prefix = prefix;
+      r_explicit = true;
+      r_external = false;
+      r_build_seconds = 0.0;
+    }
+  in
+  (match
+     Ospack_store.Buildcache.save cache ~install_root:"/r1"
+       (record "/r1/missing")
+   with
+  | Ok () -> Alcotest.fail "missing prefix must not archive"
+  | Error e ->
+      Alcotest.(check bool) "missing prefix named" true
+        (Astring.String.is_infix ~affix:"is not a directory" e));
+  (match Vfs.mkdir_p vfs "/r1/empty" with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "mkdir: %s" (Vfs.error_to_string e));
+  match
+    Ospack_store.Buildcache.save cache ~install_root:"/r1" (record "/r1/empty")
+  with
+  | Ok () -> Alcotest.fail "empty prefix must not archive"
+  | Error e ->
+      Alcotest.(check bool) "empty prefix refused" true
+        (Astring.String.is_infix ~affix:"refusing to archive empty prefix" e)
+
+(* re-extraction must replace a symlink whose (relocated) target changed,
+   and empty directories must survive the round trip *)
+let buildcache_stale_links_and_dirs () =
+  let vfs = Vfs.create () in
+  let cache = Ospack_store.Buildcache.create vfs ~root:"/cache" in
+  let ok name = function
+    | Ok _ -> ()
+    | Error e -> Alcotest.failf "%s: %s" name (Vfs.error_to_string e)
+  in
+  ok "mkdir" (Vfs.mkdir_p vfs "/r1/pkg/bin");
+  ok "write" (Vfs.write_file vfs "/r1/pkg/bin/tool" "prefix=/r1/pkg\n");
+  ok "link"
+    (Vfs.symlink vfs ~target:"/r1/pkg/bin/tool" ~link:"/r1/pkg/current");
+  ok "mkdir" (Vfs.mkdir_p vfs "/r1/pkg/share/doc");
+  let spec = concretize "libelf" in
+  let record =
+    {
+      Database.r_spec = spec;
+      r_hash = Concrete.root_hash spec;
+      r_prefix = "/r1/pkg";
+      r_explicit = true;
+      r_external = false;
+      r_build_seconds = 0.0;
+    }
+  in
+  (match Ospack_store.Buildcache.save cache ~install_root:"/r1" record with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "save: %s" e);
+  let extract root =
+    match
+      Ospack_store.Buildcache.extract cache ~hash:record.Database.r_hash
+        ~install_root:root ~prefix:"/dest/pkg"
+    with
+    | Ok _ -> ()
+    | Error e -> Alcotest.failf "extract under %s: %s" root e
+  in
+  let link_target () =
+    match Vfs.readlink vfs "/dest/pkg/current" with
+    | Ok t -> t
+    | Error e -> Alcotest.failf "readlink: %s" (Vfs.error_to_string e)
+  in
+  extract "/r1";
+  Alcotest.(check string) "first extract keeps the cached target"
+    "/r1/pkg/bin/tool" (link_target ());
+  Alcotest.(check bool) "empty directory extracted" true
+    (Vfs.is_dir vfs "/dest/pkg/share/doc");
+  (* same destination, new install root: the old link is stale now *)
+  extract "/r2";
+  Alcotest.(check string) "stale link re-created with relocated target"
+    "/r2/pkg/bin/tool" (link_target ());
+  (match Vfs.read_file vfs "/dest/pkg/bin/tool" with
+  | Ok c ->
+      Alcotest.(check string) "file contents relocated too" "prefix=/r2/pkg\n" c
+  | Error e -> Alcotest.failf "read: %s" (Vfs.error_to_string e));
+  (* a non-link squatting on the path is replaced as well *)
+  ok "remove" (Vfs.remove vfs ~recursive:true "/dest/pkg/current");
+  ok "write" (Vfs.write_file vfs "/dest/pkg/current" "not a link");
+  extract "/r2";
+  Alcotest.(check string) "squatting file replaced by the link"
+    "/r2/pkg/bin/tool" (link_target ())
+
+(* an entry whose file list disagrees with its recorded count is
+   truncated and must not extract *)
+let buildcache_truncated_rejected () =
+  let vfs = Vfs.create () in
+  let cache = Ospack_store.Buildcache.create vfs ~root:"/cache" in
+  let spec = concretize "libelf" in
+  let hash = Concrete.root_hash spec in
+  let module Json = Ospack_json.Json in
+  let entry =
+    Json.Obj
+      [
+        ("format", Json.Int 1);
+        ("install_root", Json.String "/r1");
+        ("prefix", Json.String "/r1/pkg");
+        ("spec", Concrete.to_json spec);
+        ("file_count", Json.Int 3);
+        ( "files",
+          Json.List
+            [
+              Json.Obj
+                [
+                  ("rel", Json.String "bin/tool");
+                  ("kind", Json.String "file");
+                  ("content", Json.String "x");
+                ];
+            ] );
+      ]
+  in
+  (match
+     Vfs.write_file vfs
+       ("/cache/" ^ hash ^ ".json")
+       (Json.to_string entry)
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "write entry: %s" (Vfs.error_to_string e));
+  match
+    Ospack_store.Buildcache.extract cache ~hash ~install_root:"/r2"
+      ~prefix:"/dest/pkg"
+  with
+  | Ok _ -> Alcotest.fail "truncated entry must not extract"
+  | Error e ->
+      Alcotest.(check bool) "truncation reported with counts" true
+        (Astring.String.is_infix ~affix:"truncated entry" e);
+      Alcotest.(check bool) "nothing materialized" false
+        (Vfs.is_file vfs "/dest/pkg/bin/tool")
+
 let mirror_fetching () =
   let vfs = Vfs.create () in
   let mirror = Ospack_buildsim.Mirror.create vfs ~root:"/mirror" in
@@ -521,6 +663,12 @@ let () =
             index_persistence;
           Alcotest.test_case "binary cache with relocation" `Quick
             buildcache_roundtrip;
+          Alcotest.test_case "buildcache save error propagation" `Quick
+            buildcache_save_errors;
+          Alcotest.test_case "stale symlinks + empty dirs on re-extract" `Quick
+            buildcache_stale_links_and_dirs;
+          Alcotest.test_case "truncated cache entry rejected" `Quick
+            buildcache_truncated_rejected;
           Alcotest.test_case "mirror fetch + checksum verification" `Quick
             mirror_fetching;
           Alcotest.test_case "summary classification" `Quick
