@@ -723,6 +723,160 @@ let parallel_mode path =
   Printf.printf "best -j4 speedup: %.2fx (store identical across all levels)\n"
     best
 
+(* `main.exe concretize [PATH]` — the concretization-cache benchmark over
+   the 21-workload suite (the seven Fig. 10/11 packages x three abstract
+   spec forms: plain, compiler-constrained, version-pinned). Four
+   scenarios per workload:
+   - cold:   fresh cache, first solve (misses, full fixed point)
+   - warm:   same cache, repeat query (whole-query hit, zero iterations)
+   - fresh:  no cache at all (--fresh)
+   - seeded: one cache shared across the whole suite, so later workloads
+             start from sub-DAG pins of earlier ones
+   The cornerstone invariant is asserted for every workload: cold, warm,
+   fresh, and seeded results are byte-identical (JSON + rendered tree).
+   A fifth pass installs the seven packages and replays the suite with
+   --reuse, asserting every reused spec satisfies its query. Fails unless
+   warm uses at least 5x fewer concretizer iterations than cold. *)
+let concretize_mode path =
+  let module Obs = Ospack_obs.Obs in
+  let module Json = Ospack_json.Json in
+  let module Ccache = Ospack_concretize.Ccache in
+  let repo = Universe.repository () in
+  let config = Universe.default_config in
+  let compilers = Universe.compilers in
+  let fingerprint = Ccache.fingerprint ~repo ~compilers ~config in
+  let newest name =
+    match Repository.find repo name with
+    | Some p -> (
+        match Ospack_package.Package.known_versions p with
+        | v :: _ -> Version.to_string v
+        | [] -> failwith (name ^ ": no versions"))
+    | None -> failwith ("unknown package " ^ name)
+  in
+  let workloads =
+    List.concat_map
+      (fun (name, _, _) ->
+        [ name; name ^ " %gcc"; Printf.sprintf "%s@%s" name (newest name) ])
+      fig10_packages
+  in
+  let parse s =
+    match Parser.parse s with
+    | Ok a -> a
+    | Error e -> failwith (s ^ ": " ^ e)
+  in
+  let render c =
+    Json.to_string (Concrete.to_json c) ^ "\n" ^ Concrete.tree_string c
+  in
+  let solve ~obs ~cache ast =
+    let cctx = Concretizer.make_ctx ~config ~obs ~compilers repo in
+    let before = Obs.counter obs "concretize.iterations" in
+    match Concretizer.concretize_cached ?cache cctx ast with
+    | Ok c -> (c, Obs.counter obs "concretize.iterations" - before)
+    | Error e -> failwith (Ospack_concretize.Cerror.to_string e)
+  in
+  (* isolated cold / warm / fresh per workload *)
+  let rows =
+    List.map
+      (fun s ->
+        let ast = parse s in
+        let obs = Obs.create () in
+        let cache = Ccache.create ~obs ~fingerprint () in
+        let cold, cold_iters = solve ~obs ~cache:(Some cache) ast in
+        let warm, warm_iters = solve ~obs ~cache:(Some cache) ast in
+        let fresh, _ = solve ~obs:(Obs.create ()) ~cache:None ast in
+        if render cold <> render warm then
+          failwith (s ^ ": warm result diverged from cold");
+        if render cold <> render fresh then
+          failwith (s ^ ": --fresh result diverged from cold");
+        if Obs.counter obs "ccache.hits" < 1 then
+          failwith (s ^ ": warm repeat did not hit the cache");
+        (s, ast, cold, cold_iters, warm_iters))
+      workloads
+  in
+  (* the whole suite against one shared cache: later workloads start from
+     sub-DAG pins seeded by earlier ones, and every result must still be
+     byte-identical to its isolated cold solve *)
+  let shared_obs = Obs.create () in
+  let shared_cache = Ccache.create ~obs:shared_obs ~fingerprint () in
+  let seeded_iters =
+    List.map
+      (fun (s, ast, cold, _, _) ->
+        let c, iters = solve ~obs:shared_obs ~cache:(Some shared_cache) ast in
+        if render c <> render cold then
+          failwith (s ^ ": seeded result diverged from cold");
+        iters)
+      rows
+  in
+  (* store-aware reuse: install the seven packages, replay the suite with
+     --reuse; a reused spec need not equal the cold concretization (it
+     reflects the store), but it must satisfy the query *)
+  let rctx = Ospack.Context.create ~obs:(Obs.create ()) () in
+  List.iter
+    (fun (name, _, _) ->
+      match Ospack.install rctx name with
+      | Ok _ -> ()
+      | Error e -> failwith (name ^ ": install failed: " ^ e))
+    fig10_packages;
+  let robs = rctx.Ospack.Context.obs in
+  let reuse_before = Obs.counter robs "ccache.reuse_hits" in
+  List.iter
+    (fun (s, ast, _, _, _) ->
+      match Ospack.spec ~reuse:true rctx s with
+      | Ok c ->
+          if not (Concrete.satisfies c ast) then
+            failwith (s ^ ": reused spec does not satisfy the query")
+      | Error e -> failwith (s ^ ": " ^ e))
+    rows;
+  let reuse_hits = Obs.counter robs "ccache.reuse_hits" - reuse_before in
+  let sum l = List.fold_left ( + ) 0 l in
+  let cold_total = sum (List.map (fun (_, _, _, c, _) -> c) rows) in
+  let warm_total = sum (List.map (fun (_, _, _, _, w) -> w) rows) in
+  let seeded_total = sum seeded_iters in
+  if warm_total * 5 > cold_total then
+    failwith
+      (Printf.sprintf
+         "warm concretization used %d iterations vs %d cold — less than \
+          the required 5x reduction"
+         warm_total cold_total);
+  let doc =
+    Json.Obj
+      [
+        ("format", Json.Int 1);
+        ( "workloads",
+          Json.List
+            (List.map2
+               (fun (s, _, _, cold_iters, warm_iters) seeded ->
+                 Json.Obj
+                   [
+                     ("spec", Json.String s);
+                     ("cold_iterations", Json.Int cold_iters);
+                     ("warm_iterations", Json.Int warm_iters);
+                     ("seeded_iterations", Json.Int seeded);
+                     ("byte_identical", Json.Bool true);
+                   ])
+               rows seeded_iters) );
+        ( "summary",
+          Json.Obj
+            [
+              ("cold_iterations", Json.Int cold_total);
+              ("warm_iterations", Json.Int warm_total);
+              ("seeded_iterations", Json.Int seeded_total);
+              ("reuse_hits", Json.Int reuse_hits);
+              ("reuse_queries", Json.Int (List.length rows));
+            ] );
+      ]
+  in
+  let oc = open_out path in
+  output_string oc (Json.to_string ~indent:2 doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf
+    "wrote %d workloads to %s\n\
+     cold %d iterations, warm %d, suite-seeded %d; reuse hits %d/%d\n\
+     cold == warm == fresh == seeded byte-identical for every workload\n"
+    (List.length rows) path cold_total warm_total seeded_total reuse_hits
+    (List.length rows)
+
 let default_run () =
   Printf.printf
     "ospack benchmark harness — reproduces every table and figure of the \
@@ -746,4 +900,6 @@ let () =
   | [| _; "obs"; path |] -> obs_mode path
   | [| _; "parallel" |] -> parallel_mode "BENCH_parallel.json"
   | [| _; "parallel"; path |] -> parallel_mode path
+  | [| _; "concretize" |] -> concretize_mode "BENCH_concretize.json"
+  | [| _; "concretize"; path |] -> concretize_mode path
   | _ -> default_run ()

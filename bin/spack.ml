@@ -36,6 +36,41 @@ let make_ctx ?config_file ?obs () =
 
 let ctx = lazy (Ospack.Context.create ~cache_root:"/ospack/buildcache" ())
 
+(* The in-memory context is fresh per process, so a --ccache FILE flag
+   bridges the concretization cache across invocations: import the
+   serialized cache (if the file exists) before the command, export it
+   after. A stale or corrupted file is invalidated on import by the
+   fingerprint check, never trusted. *)
+let read_ccache_file = function
+  | None -> None
+  | Some path ->
+      if Sys.file_exists path then begin
+        let ic = open_in path in
+        let content = really_input_string ic (in_channel_length ic) in
+        close_in ic;
+        Some content
+      end
+      else None
+
+let write_ccache_file ctx = function
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      output_string oc (Ospack.Context.export_ccache ctx);
+      output_char oc '\n';
+      close_out oc
+
+let ccache_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "ccache" ] ~docv:"FILE"
+        ~doc:
+          "Persist the concretization cache to $(docv) on the real \
+           filesystem: imported (and fingerprint-validated) before the \
+           command, exported after. Repeating a query with the same \
+           $(docv) is a warm-cache run — byte-identical output, no \
+           re-solving.")
+
 let report_error e =
   Format.eprintf "==> Error: %s@." e;
   1
@@ -112,7 +147,16 @@ let install_cmd =
       & info [ "timings" ]
           ~doc:"Print a per-phase timing table after the install.")
   in
-  let run backtrack jobs index_out trace timings parts =
+  let fresh =
+    Arg.(
+      value & flag
+      & info [ "fresh" ]
+          ~doc:
+            "Always concretize against current packages and preferences: \
+             skip both the installed-spec reuse (§3.2.3) and the \
+             concretization cache.")
+  in
+  let run backtrack jobs index_out trace timings fresh parts =
     let recording = trace <> None || timings in
     let obs = if recording then Obs.create () else Obs.disabled in
     let ctx =
@@ -127,7 +171,7 @@ let install_cmd =
       output_char oc '\n';
       close_out oc
     in
-    match Ospack.install ~backtrack ~jobs ctx (join_spec parts) with
+    match Ospack.install ~backtrack ~fresh ~jobs ctx (join_spec parts) with
     | Ok report ->
         Format.printf "==> concretized:@.%s@."
           (Concrete.tree_string report.Ospack.Commands.ir_spec);
@@ -152,7 +196,8 @@ let install_cmd =
   Cmd.v
     (Cmd.info "install" ~doc:"Concretize and install a spec.")
     Term.(
-      const run $ backtrack $ jobs $ index_out $ trace $ timings $ spec_arg)
+      const run $ backtrack $ jobs $ index_out $ trace $ timings $ fresh
+      $ spec_arg)
 
 let spec_cmd =
   let explain =
@@ -161,25 +206,54 @@ let spec_cmd =
       & info [ "explain" ]
           ~doc:"Also print the policy decisions concretization took.")
   in
-  let run explain parts =
-    let ctx = Lazy.force ctx in
-    if explain then (
-      match Ospack.spec_explain ctx (join_spec parts) with
-      | Ok (c, decisions) ->
-          Format.printf "%s@." (Concrete.tree_string c);
-          List.iter (fun d -> Format.printf "  because: %s@." d) decisions;
-          0
-      | Error e -> report_error e)
-    else
-      match Ospack.spec ctx (join_spec parts) with
-      | Ok c ->
-          Format.printf "%s@." (Concrete.tree_string c);
-          0
-      | Error e -> report_error e
+  let fresh =
+    Arg.(
+      value & flag
+      & info [ "fresh" ]
+          ~doc:
+            "Concretize from scratch, bypassing the concretization cache \
+             (the result is byte-identical to a warm run — this flag \
+             exists to prove it).")
+  in
+  let reuse =
+    Arg.(
+      value & flag
+      & info [ "reuse" ]
+          ~doc:
+            "Prefer an already-installed concrete spec satisfying the \
+             query over re-concretizing (store-aware reuse). Only \
+             meaningful inside a session with installs (e.g. spack \
+             script); a fresh process has an empty store.")
+  in
+  let run explain fresh reuse ccache parts =
+    let ctx =
+      match ccache with
+      | None -> Lazy.force ctx
+      | Some _ ->
+          Ospack.Context.create ~cache_root:"/ospack/buildcache"
+            ?ccache_json:(read_ccache_file ccache) ()
+    in
+    let code =
+      if explain then (
+        match Ospack.spec_explain ctx (join_spec parts) with
+        | Ok (c, decisions) ->
+            Format.printf "%s@." (Concrete.tree_string c);
+            List.iter (fun d -> Format.printf "  because: %s@." d) decisions;
+            0
+        | Error e -> report_error e)
+      else
+        match Ospack.spec ~fresh ~reuse ctx (join_spec parts) with
+        | Ok c ->
+            Format.printf "%s@." (Concrete.tree_string c);
+            0
+        | Error e -> report_error e
+    in
+    if code = 0 then write_ccache_file ctx ccache;
+    code
   in
   Cmd.v
     (Cmd.info "spec" ~doc:"Show the concretized spec without installing.")
-    Term.(const run $ explain $ spec_arg)
+    Term.(const run $ explain $ fresh $ reuse $ ccache_arg $ spec_arg)
 
 let graph_cmd =
   let dot =
@@ -304,9 +378,12 @@ let demo_cmd =
     Term.(const run $ spec_arg)
 
 let stats_cmd =
-  let run parts =
+  let run ccache parts =
     let obs = Obs.create () in
-    let ctx = Ospack.Context.create ~cache_root:"/ospack/buildcache" ~obs () in
+    let ctx =
+      Ospack.Context.create ~cache_root:"/ospack/buildcache"
+        ?ccache_json:(read_ccache_file ccache) ~obs ()
+    in
     match Ospack.install ctx (join_spec parts) with
     | Error e -> report_error e
     | Ok report ->
@@ -314,14 +391,18 @@ let stats_cmd =
           (Installer.summary_to_string report.Ospack.Commands.ir_summary);
         print_string (Obs.timings_table obs);
         print_string (Obs.stats_table obs);
+        write_ccache_file ctx ccache;
         0
   in
   Cmd.v
     (Cmd.info "stats"
        ~doc:
          "Install a spec into a fresh store with recording enabled and \
-          print the per-phase timing table, counters, and histograms.")
-    Term.(const run $ spec_arg)
+          print the per-phase timing table, counters, and histograms. \
+          With --ccache, the concretization-cache counters (ccache.hits \
+          / ccache.misses / ccache.invalidations) show whether the run \
+          was warm.")
+    Term.(const run $ ccache_arg $ spec_arg)
 
 let trace_validate_cmd =
   let file =

@@ -41,6 +41,31 @@ cmp "$par_tmp/index-j4a.json" "$par_tmp/index-j4b.json"
 cmp "$par_tmp/index-j1.json" "$par_tmp/index-j4a.json"
 ./_build/default/bench/main.exe parallel BENCH_parallel.json
 
+echo "== ccache smoke: cold == warm == --fresh byte-for-byte, warm hits > 0, regenerate BENCH_concretize.json"
+# the concretization cache must be observationally invisible: a cold run,
+# a warm run against the persisted cache, and a --fresh run must print
+# byte-identical concrete specs; the warm run must report cache hits
+cc_tmp=_build/ccache-smoke
+mkdir -p "$cc_tmp"
+rm -f "$cc_tmp/ccache.json"
+./_build/default/bin/spack.exe spec --ccache "$cc_tmp/ccache.json" mpileaks > "$cc_tmp/cold.out"
+./_build/default/bin/spack.exe spec --ccache "$cc_tmp/ccache.json" mpileaks > "$cc_tmp/warm.out"
+./_build/default/bin/spack.exe spec --fresh mpileaks > "$cc_tmp/fresh.out"
+cmp "$cc_tmp/cold.out" "$cc_tmp/warm.out"
+cmp "$cc_tmp/cold.out" "$cc_tmp/fresh.out"
+rm -f "$cc_tmp/stats-ccache.json"
+./_build/default/bin/spack.exe stats --ccache "$cc_tmp/stats-ccache.json" libdwarf > "$cc_tmp/stats-cold.out"
+./_build/default/bin/spack.exe stats --ccache "$cc_tmp/stats-ccache.json" libdwarf > "$cc_tmp/stats-warm.out"
+grep -q '^ccache\.misses  *1$' "$cc_tmp/stats-cold.out"
+warm_hits=$(awk '/^ccache\.hits/ {print $2}' "$cc_tmp/stats-warm.out")
+if [ -z "$warm_hits" ] || [ "$warm_hits" -lt 1 ]; then
+    echo "error: warm run reported no ccache hits" >&2
+    exit 1
+fi
+# the bench asserts byte-identity and the >=5x iteration reduction over
+# the whole 21-workload suite
+./_build/default/bench/main.exe concretize BENCH_concretize.json
+
 echo "== checking for stray _build files in git"
 # nothing under _build/ may be tracked, and none may appear in git status
 # (deletions are fine — that is _build being purged, not committed)

@@ -1,0 +1,162 @@
+module Ast = Ospack_spec.Ast
+module Printer = Ospack_spec.Printer
+module Concrete = Ospack_spec.Concrete
+module Repository = Ospack_package.Repository
+module Package = Ospack_package.Package
+module Compilers = Ospack_config.Compilers
+module Config = Ospack_config.Config
+module Version = Ospack_version.Version
+module Sha256 = Ospack_hash.Sha256
+module Hex = Ospack_hash.Hex
+module Json = Ospack_json.Json
+module Vfs = Ospack_vfs.Vfs
+module Obs = Ospack_obs.Obs
+
+(* Bump when the concretizer's semantics change: a cache produced by an
+   older algorithm must not be trusted by a newer one. *)
+let algorithm_version = "greedy-fixpoint-1"
+
+type t = {
+  cc_fingerprint : string;
+  cc_entries : (string, Concrete.t) Hashtbl.t;
+      (* authoritative: canonical abstract spec -> its concretization *)
+  cc_seeds : (string, Concrete.node) Hashtbl.t;
+      (* advisory: package name -> a concrete node it pinned to in some
+         stored result. Seeds accelerate the fixed point (sub-DAG memo)
+         but are never returned as answers — a node's parameters inside
+         one DAG need not match its standalone concretization. *)
+  cc_obs : Obs.t;
+}
+
+let fingerprint ~repo ~compilers ~config =
+  let ctx = Sha256.init () in
+  Sha256.feed ctx ("algorithm " ^ algorithm_version ^ "\n");
+  Sha256.feed ctx ("repo " ^ Repository.name repo ^ "\n");
+  List.iter
+    (fun pkg -> Sha256.feed ctx (Package.identity_string pkg))
+    (Repository.all_packages repo);
+  List.iter
+    (fun tc ->
+      Sha256.feed ctx
+        (Printf.sprintf "compiler %s@%s cc=%s cxx=%s f77=%s fc=%s archs=%s features=%s\n"
+           tc.Compilers.tc_name
+           (Version.to_string tc.Compilers.tc_version)
+           tc.Compilers.tc_cc tc.Compilers.tc_cxx tc.Compilers.tc_f77
+           tc.Compilers.tc_fc
+           (String.concat "," tc.Compilers.tc_archs)
+           (String.concat "," tc.Compilers.tc_features)))
+    (Compilers.all compilers);
+  (* Policy functions are pure over the config, so the config's key/value
+     rendering covers every policy input. *)
+  List.iter
+    (fun key ->
+      let v = Option.value (Config.get config key) ~default:"" in
+      Sha256.feed ctx (Printf.sprintf "config %s=%s\n" key v))
+    (Config.keys config);
+  Hex.encode (Sha256.finalize ctx)
+
+let create ?(obs = Obs.disabled) ~fingerprint () =
+  {
+    cc_fingerprint = fingerprint;
+    cc_entries = Hashtbl.create 64;
+    cc_seeds = Hashtbl.create 64;
+    cc_obs = obs;
+  }
+
+let fingerprint_of t = t.cc_fingerprint
+
+let key_of ast = Printer.to_string ast
+
+let lookup t ast =
+  let key = key_of ast in
+  match Hashtbl.find_opt t.cc_entries key with
+  | Some c ->
+      Obs.count t.cc_obs "ccache.hits" 1;
+      Some c
+  | None ->
+      Obs.count t.cc_obs "ccache.misses" 1;
+      None
+
+let store t ast concrete =
+  Hashtbl.replace t.cc_entries (key_of ast) concrete;
+  List.iter
+    (fun (n : Concrete.node) -> Hashtbl.replace t.cc_seeds n.Concrete.name n)
+    (Concrete.nodes concrete)
+
+let seeds t =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.cc_seeds []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let length t = Hashtbl.length t.cc_entries
+
+let format_version = 1
+
+let to_json t =
+  let entries =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.cc_entries []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+    |> List.map (fun (k, v) ->
+           Json.Obj [ ("spec", Json.String k); ("concrete", Concrete.to_json v) ])
+  in
+  Json.Obj
+    [
+      ("format", Json.Int format_version);
+      ("fingerprint", Json.String t.cc_fingerprint);
+      ("entries", Json.List entries);
+    ]
+
+let of_json ?(obs = Obs.disabled) ~fingerprint json =
+  let invalid () =
+    Obs.count obs "ccache.invalidations" 1;
+    create ~obs ~fingerprint ()
+  in
+  let open Json in
+  match
+    ( Option.bind (member "format" json) get_int,
+      Option.bind (member "fingerprint" json) get_string,
+      Option.bind (member "entries" json) to_list )
+  with
+  | Some fmt, Some fp, Some entries
+    when fmt = format_version && fp = fingerprint -> (
+      let t = create ~obs ~fingerprint () in
+      try
+        List.iter
+          (fun e ->
+            match
+              ( Option.bind (member "spec" e) get_string,
+                member "concrete" e )
+            with
+            | Some key, Some cj -> (
+                match Concrete.of_json cj with
+                | Ok c ->
+                    Hashtbl.replace t.cc_entries key c;
+                    List.iter
+                      (fun (n : Concrete.node) ->
+                        Hashtbl.replace t.cc_seeds n.Concrete.name n)
+                      (Concrete.nodes c)
+                | Error _ -> raise Exit)
+            | _ -> raise Exit)
+          entries;
+        t
+      with Exit -> invalid ())
+  | _ -> invalid ()
+
+let load ?(obs = Obs.disabled) ~fingerprint fs ~path =
+  match Vfs.read_file fs path with
+  | Error _ -> create ~obs ~fingerprint ()
+  | Ok contents -> (
+      match Json.of_string contents with
+      | Error _ ->
+          Obs.count obs "ccache.invalidations" 1;
+          create ~obs ~fingerprint ()
+      | Ok json -> of_json ~obs ~fingerprint json)
+
+let save t fs ~path =
+  let tmp = path ^ ".tmp" in
+  let rendered = Json.to_string ~indent:2 (to_json t) in
+  match Vfs.write_file fs tmp rendered with
+  | Error e -> Error (Vfs.error_to_string e)
+  | Ok () -> (
+      match Vfs.rename fs ~src:tmp ~dst:path with
+      | Error e -> Error (Vfs.error_to_string e)
+      | Ok () -> Ok ())

@@ -1,0 +1,91 @@
+(** The fingerprinted concretization cache.
+
+    Concretization is ospack's hottest non-build path (paper §3.2: the
+    greedy fixed point over the whole DAG), and its result is a pure
+    function of (abstract spec, package universe, compiler registry, site
+    configuration). This module memoizes that function: entries are keyed
+    by the canonical printed form of the abstract spec ({!key_of}) and are
+    valid only under a {e context fingerprint} — a SHA-256 over every
+    declarative input that can influence a concretization
+    ({!Ospack_package.Package.identity_string} of every visible package,
+    the toolchain registry, the configuration key/value store, and an
+    algorithm-version tag). Any package, compiler, config, or policy
+    change yields a different fingerprint, and a cache persisted under the
+    old fingerprint is discarded wholesale on load (counted in
+    [ccache.invalidations]) — a stale entry is never trusted.
+
+    The cornerstone invariant is that caching is observationally
+    invisible: a cache hit returns a value byte-identical to what a cold
+    concretization would have produced. That holds because concretization
+    is deterministic and every input is covered by the key or the
+    fingerprint.
+
+    Persistence is crash-safe: {!save} writes a sibling temp file and
+    {!Ospack_vfs.Vfs.rename}s it over the destination, so readers observe
+    either the old or the new cache, never a torn one. *)
+
+type t
+
+val algorithm_version : string
+(** Bumped whenever the concretizer's semantics change; part of the
+    fingerprint so an upgraded binary never trusts an old cache. *)
+
+val fingerprint :
+  repo:Ospack_package.Repository.t ->
+  compilers:Ospack_config.Compilers.t ->
+  config:Ospack_config.Config.t ->
+  string
+(** The context fingerprint (64 hex chars). Policy is a pure function of
+    the configuration, so covering the config covers the policy. *)
+
+val create : ?obs:Ospack_obs.Obs.t -> fingerprint:string -> unit -> t
+(** An empty in-memory cache bound to a context fingerprint. *)
+
+val fingerprint_of : t -> string
+
+val key_of : Ospack_spec.Ast.t -> string
+(** The cache key: the canonical printed form of the abstract spec
+    ({!Ospack_spec.Printer.to_string} — deps sorted, version lists
+    normalized). Specs that parse to the same AST share a key. *)
+
+val lookup : t -> Ospack_spec.Ast.t -> Ospack_spec.Concrete.t option
+(** Counts [ccache.hits] / [ccache.misses] on the cache's obs sink. *)
+
+val store : t -> Ospack_spec.Ast.t -> Ospack_spec.Concrete.t -> unit
+(** Record an authoritative (abstract, concrete) pair, and harvest every
+    node of the concrete DAG into the advisory seed table. *)
+
+val seeds : t -> (string * Ospack_spec.Concrete.node) list
+(** The sub-DAG memo, sorted by package name: for each package that
+    appeared in any stored concretization, the concrete node it pinned
+    to. Seeds prime the fixed point's first iteration
+    ({!Concretizer.concretize_cached}); they are {e never} served as
+    whole-query answers — a node's parameters inside one DAG need not
+    match its standalone concretization. *)
+
+val length : t -> int
+(** Authoritative entries only (seeds excluded). *)
+
+val to_json : t -> Ospack_json.Json.t
+
+val of_json :
+  ?obs:Ospack_obs.Obs.t ->
+  fingerprint:string ->
+  Ospack_json.Json.t ->
+  t
+(** Rebuild a cache from its serialized form, {e validating} it against
+    the current context: a format, fingerprint, or entry mismatch
+    discards the stored entries (counting one [ccache.invalidations])
+    and returns an empty cache — never an error, never a stale entry. *)
+
+val load :
+  ?obs:Ospack_obs.Obs.t ->
+  fingerprint:string ->
+  Ospack_vfs.Vfs.t ->
+  path:string ->
+  t
+(** Read the persisted cache at [path]; a missing file is a plain empty
+    cache, an unparsable one counts an invalidation. *)
+
+val save : t -> Ospack_vfs.Vfs.t -> path:string -> (unit, string) result
+(** Persist: write [path ^ ".tmp"], then rename over [path]. *)

@@ -140,29 +140,32 @@ let explain_decision d =
       Printf.sprintf "%s (1 of %d candidates)" what d.d_alternatives
   | None -> Printf.sprintf "%s -> %s" d.d_key d.d_chosen
 
-let decide rs key ~repr alternatives =
-  match alternatives with
-  | [] -> None
-  | _ -> (
-      let n = List.length alternatives in
-      match Hashtbl.find_opt rs.decisions key with
-      | Some i -> Some (List.nth alternatives (min i (n - 1)))
-      | None ->
-          let i =
-            match List.assoc_opt key rs.choices with
-            | Some i -> min i (n - 1)
-            | None -> 0
-          in
-          Hashtbl.add rs.decisions key i;
-          let chosen = List.nth alternatives i in
-          let d = { d_key = key; d_alternatives = n; d_chosen = repr chosen } in
-          rs.trace <- d :: rs.trace;
-          (* the policy-decision log is an obs event stream: the explain
-             rendering reads it back, and enabled traces show each
-             decision as an annotation at the point it was taken *)
-          Obs.count rs.obs "concretize.decisions" 1;
-          Obs.annotate rs.obs ~cat:"explain" (explain_decision d);
-          Some chosen)
+(* [decide rs key ~repr first rest] picks among the candidates
+   [first :: rest]. Taking the nonempty list as two arguments makes "no
+   candidates" unrepresentable at the call sites (each of which already
+   checks for emptiness and raises a typed {!Cerror}), so the result is
+   total — no option, no unreachable branch. *)
+let decide rs key ~repr first rest =
+  let alternatives = first :: rest in
+  let n = List.length alternatives in
+  match Hashtbl.find_opt rs.decisions key with
+  | Some i -> List.nth alternatives (min i (n - 1))
+  | None ->
+      let i =
+        match List.assoc_opt key rs.choices with
+        | Some i -> min i (n - 1)
+        | None -> 0
+      in
+      Hashtbl.add rs.decisions key i;
+      let chosen = List.nth alternatives i in
+      let d = { d_key = key; d_alternatives = n; d_chosen = repr chosen } in
+      rs.trace <- d :: rs.trace;
+      (* the policy-decision log is an obs event stream: the explain
+         rendering reads it back, and enabled traces show each
+         decision as an annotation at the point it was taken *)
+      Obs.count rs.obs "concretize.decisions" 1;
+      Obs.annotate rs.obs ~cat:"explain" (explain_decision d);
+      chosen
 
 (* Evaluate a when-predicate for [name] against the previous iteration's
    pins (node-local part) and the previous DAG (dependency part). *)
@@ -221,7 +224,15 @@ let ranked_versions cfg pkg (constraint_ : Vlist.t) =
     match Vlist.concrete constraint_ with Some v -> [ v ] | None -> []
   else ranked
 
-let run rs (abstract : Ast.t) =
+(* [seed] pre-populates the previous-iteration pins the first iteration
+   evaluates its when-clauses against. A cold run starts from no pins; a
+   seeded run starts from pins harvested from earlier concretizations in
+   the same context (the concretization cache's sub-DAG memo), which lets
+   the fixed point begin where a previous run ended. Only pins are seeded
+   — never nodes, edges, or provided sets — so dependency-existence
+   ([when=^dep]) clauses still see exactly the cold-start DAG in
+   iteration 1, and the fixed point converges to the cold answer. *)
+let run ?(seed = Smap.empty) rs (abstract : Ast.t) =
   let ctx = rs.ctx in
   let obs = rs.obs in
   (* every constraint merge is counted — the per-iteration cost driver
@@ -305,9 +316,17 @@ let run rs (abstract : Ast.t) =
         List.sort (fun a b -> compare (rank a) (rank b)) provider_names
       in
       let provider =
-        match decide rs ("provider:" ^ virtual_) ~repr:(fun p -> p) ranked with
-        | Some p -> p
-        | None -> assert false (* entries nonempty *)
+        match ranked with
+        | [] ->
+            (* [entries] was checked nonempty above and sorting preserves
+               length, so this is locally dead — but if a future ranking
+               stage ever filters, the user gets a provider error, not an
+               abort *)
+            fail
+              (Cerror.No_provider
+                 { virtual_; constraint_ = Printer.node_to_string req })
+        | first :: rest ->
+            decide rs ("provider:" ^ virtual_) ~repr:(fun p -> p) first rest
       in
       (* entries of the chosen provider, newest provided interface first *)
       let provider_entries =
@@ -522,12 +541,8 @@ let run rs (abstract : Ast.t) =
                      constraint_ = Vlist.to_string cons.Ast.versions;
                    })
           | [ v ] -> v
-          | ranked -> (
-              match
-                decide rs ("version:" ^ name) ~repr:Version.to_string ranked
-              with
-              | Some v -> v
-              | None -> assert false)
+          | v :: rest ->
+              decide rs ("version:" ^ name) ~repr:Version.to_string v rest
         in
         (* variants *)
         Ast.Smap.iter
@@ -656,19 +671,84 @@ let run rs (abstract : Ast.t) =
           (Format.asprintf "concretizer produced an invalid DAG: %a"
              Concrete.pp_validation_error e)
   in
-  iterate 1 empty_snapshot
+  iterate 1 { empty_snapshot with spins = seed }
 
 (* ------------------------------------------------------------------ *)
 (* Public entry points                                                 *)
 
-let run_once ?obs (ctx : ctx) choices abstract =
+let run_once ?obs ?seed (ctx : ctx) choices abstract =
   let obs = Option.value obs ~default:ctx.obs in
   let rs = { ctx; obs; choices; decisions = Hashtbl.create 8; trace = [] } in
-  match run rs abstract with
+  match run ?seed rs abstract with
   | concrete -> (Ok concrete, List.rev rs.trace)
   | exception Cerror.Error e -> (Error e, List.rev rs.trace)
 
 let concretize ctx abstract = fst (run_once ctx [] abstract)
+
+let pins_of_concrete_node (n : Concrete.node) =
+  {
+    pv = n.Concrete.version;
+    pc = n.Concrete.compiler;
+    pvar = Concrete.Smap.fold Smap.add n.Concrete.variants Smap.empty;
+    parch = n.Concrete.arch;
+  }
+
+(* Pins seed for a query: every package the cache ever concretized, except
+   where the stored node contradicts the query's own constraints (root or
+   ^dep) — a contradicted seed would make iteration 1 evaluate when-clauses
+   against parameters the fixed point can never keep. *)
+let seed_for cache (abstract : Ast.t) =
+  List.fold_left
+    (fun acc (name, node) ->
+      let consistent =
+        if name = abstract.Ast.root.Ast.name then
+          Concrete.node_satisfies node abstract.Ast.root
+        else
+          match Smap.find_opt name abstract.Ast.deps with
+          | Some c -> Concrete.node_satisfies node c
+          | None -> true
+      in
+      if consistent then Smap.add name (pins_of_concrete_node node) acc
+      else acc)
+    Smap.empty (Ccache.seeds cache)
+
+let concretize_cached ?cache ?installed (ctx : ctx) abstract =
+  let obs = ctx.obs in
+  let reused =
+    match installed with
+    | None -> None
+    | Some find ->
+        Obs.span obs ~cat:"ccache" "ccache.reuse_lookup" (fun () ->
+            match find abstract with
+            | Some c ->
+                Obs.count obs "ccache.reuse_hits" 1;
+                Some c
+            | None -> None)
+  in
+  match reused with
+  | Some c -> Ok c
+  | None -> (
+      match cache with
+      | None -> concretize ctx abstract
+      | Some cache -> (
+          let hit =
+            Obs.span obs ~cat:"ccache" "ccache.lookup" (fun () ->
+                Ccache.lookup cache abstract)
+          in
+          match hit with
+          | Some c -> Ok c
+          | None ->
+              let seed =
+                Obs.span obs ~cat:"ccache" "ccache.seed" (fun () ->
+                    let s = seed_for cache abstract in
+                    Obs.count obs "ccache.seeded_pins" (Smap.cardinal s);
+                    s)
+              in
+              let result = fst (run_once ~seed ctx [] abstract) in
+              (match result with
+              | Ok c -> Ccache.store cache abstract c
+              | Error _ -> ());
+              result))
 
 let concretize_explain (ctx : ctx) abstract =
   (* the explain lines are read back from the obs event stream (rather

@@ -39,31 +39,6 @@ let render_cerror (ctx : Context.t) e =
       | None -> base)
   | _ -> base
 
-let spec (ctx : Context.t) text =
-  match Parser.parse text with
-  | Error e -> Error e
-  | Ok ast -> (
-      match Concretizer.concretize ctx.cctx ast with
-      | Ok c -> Ok c
-      | Error e -> Error (render_cerror ctx e))
-
-let spec_explain (ctx : Context.t) text =
-  match Parser.parse text with
-  | Error e -> Error e
-  | Ok ast -> (
-      match Concretizer.concretize_explain ctx.cctx ast with
-      | Ok result -> Ok result
-      | Error e -> Error (render_cerror ctx e))
-
-let concretize_ast ?(backtrack = false) (ctx : Context.t) ast =
-  match Concretizer.concretize ctx.cctx ast with
-  | Ok c -> Ok c
-  | Error e when backtrack -> (
-      match Concretizer.concretize_backtracking ctx.cctx ast with
-      | Ok c -> Ok c
-      | Error _ -> Error (render_cerror ctx e))
-  | Error e -> Error (render_cerror ctx e)
-
 (* §3.2.3: prefer an already-installed configuration satisfying the
    abstract request over concretizing a new one *)
 let best_installed (ctx : Context.t) ast =
@@ -82,6 +57,67 @@ let best_installed (ctx : Context.t) ast =
       | None -> Some r
       | Some b -> if better r b then Some r else best)
     None candidates
+
+(* Every concretization below the command layer flows through the
+   fingerprinted cache ({!Ospack_concretize.Ccache}) unless [fresh] asks
+   for a from-scratch solve; successful results persist to the store root
+   immediately (write-then-rename, like the database index). [reuse]
+   additionally short-circuits to an installed concrete spec satisfying
+   the query (the store-aware reuse of the ASP follow-up paper, in the
+   greedy setting). *)
+let concretize_cached (ctx : Context.t) ?(reuse = false) ast =
+  let installed =
+    if reuse then
+      Some
+        (fun q ->
+          Option.map (fun r -> r.Database.r_spec) (best_installed ctx q))
+    else None
+  in
+  let before = Ospack_concretize.Ccache.length ctx.ccache in
+  let result =
+    Concretizer.concretize_cached ~cache:ctx.ccache ?installed ctx.cctx ast
+  in
+  (match result with
+  | Ok _ when Ospack_concretize.Ccache.length ctx.ccache <> before ->
+      Context.save_ccache ctx
+  | _ -> ());
+  result
+
+let spec ?(fresh = false) ?(reuse = false) (ctx : Context.t) text =
+  match Parser.parse text with
+  | Error e -> Error e
+  | Ok ast -> (
+      let result =
+        if fresh then Concretizer.concretize ctx.cctx ast
+        else concretize_cached ctx ~reuse ast
+      in
+      match result with
+      | Ok c -> Ok c
+      | Error e -> Error (render_cerror ctx e))
+
+let spec_explain (ctx : Context.t) text =
+  match Parser.parse text with
+  | Error e -> Error e
+  | Ok ast -> (
+      (* explain reports the decisions of a real greedy run, so it never
+         consults the cache (a hit would have no decisions to explain) *)
+      match Concretizer.concretize_explain ctx.cctx ast with
+      | Ok result -> Ok result
+      | Error e -> Error (render_cerror ctx e))
+
+let concretize_ast ?(backtrack = false) ?(fresh = false) (ctx : Context.t)
+    ast =
+  let greedy =
+    if fresh then Concretizer.concretize ctx.cctx ast
+    else concretize_cached ctx ast
+  in
+  match greedy with
+  | Ok c -> Ok c
+  | Error e when backtrack -> (
+      match Concretizer.concretize_backtracking ctx.cctx ast with
+      | Ok c -> Ok c
+      | Error _ -> Error (render_cerror ctx e))
+  | Error e -> Error (render_cerror ctx e)
 
 let report ?parallel spec outcomes =
   {
@@ -104,7 +140,7 @@ let install ?backtrack ?(fresh = false) ?(jobs = 1) (ctx : Context.t) text =
   | None ->
       let* concrete =
         Obs.span ctx.obs ~cat:"concretize" "concretize" (fun () ->
-            concretize_ast ?backtrack ctx ast)
+            concretize_ast ?backtrack ~fresh ctx ast)
       in
       if jobs <= 1 then
         let* outcomes =

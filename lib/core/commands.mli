@@ -21,8 +21,23 @@ type install_report = {
           install ran on the parallel worker pool ([jobs > 1]) *)
 }
 
-val spec : Context.t -> string -> (Ospack_spec.Concrete.t, string) result
-(** Concretize without installing ([spack spec]). *)
+val spec :
+  ?fresh:bool ->
+  ?reuse:bool ->
+  Context.t ->
+  string ->
+  (Ospack_spec.Concrete.t, string) result
+(** Concretize without installing ([spack spec]), through the context's
+    fingerprinted concretization cache: a repeat of an earlier query under
+    the same packages/compilers/configuration returns the memoized result
+    ([ccache.hits]), a miss is solved with the fixed point seeded from
+    previously concretized sub-DAGs and stored back (persisted under the
+    store root with crash-safe write-then-rename). Caching is
+    observationally invisible — the result is byte-identical to a cold
+    solve. [fresh] bypasses the cache entirely ([spack spec --fresh]);
+    [reuse] first looks for an installed concrete spec satisfying the
+    query and returns it as-is ([spack spec --reuse] — the store-aware
+    reuse semantics, §3.2.3 generalized to concretization). *)
 
 val spec_explain :
   Context.t -> string ->
@@ -51,7 +66,9 @@ val install :
     "the user can save time if Spack already has a version installed that
     satisfies the spec". Among several satisfying installs the newest
     version (then lexicographically smallest hash) wins. [fresh:true]
-    always concretizes against current packages and preferences. *)
+    always concretizes against current packages and preferences,
+    bypassing both the installed-spec reuse and the concretization
+    cache. *)
 
 val find :
   Context.t -> ?query:string -> unit ->

@@ -3,6 +3,8 @@ module Config = Ospack_config.Config
 module Repository = Ospack_package.Repository
 module Compilers = Ospack_config.Compilers
 module Concretizer = Ospack_concretize.Concretizer
+module Ccache = Ospack_concretize.Ccache
+module Json = Ospack_json.Json
 module Installer = Ospack_store.Installer
 module Fsmodel = Ospack_buildsim.Fsmodel
 module Layout = Ospack_layout.Layout
@@ -18,12 +20,17 @@ type t = {
   cctx : Concretizer.ctx;
   installer : Installer.t;
   cache : Buildcache.t option;
+  ccache : Ccache.t;
+  ccache_path : string;
   obs : Obs.t;
   module_root : string;
 }
 
+let ccache_file root = root ^ "/.spack-db/ccache.json"
+
 let create ?config ?repo ?compilers ?fs ?scheme
-    ?(install_root = "/ospack/opt") ?cache_root ?(obs = Obs.disabled) () =
+    ?(install_root = "/ospack/opt") ?cache_root ?ccache_json
+    ?(obs = Obs.disabled) () =
   let config = Option.value config ~default:Universe.default_config in
   let repo =
     match repo with Some r -> r | None -> Universe.repository ()
@@ -38,8 +45,24 @@ let create ?config ?repo ?compilers ?fs ?scheme
     Installer.create ?fs ?scheme ~install_root ~config ?cache ~obs ~vfs ~repo
       ~compilers ()
   in
-  { vfs; config; repo; compilers; cctx; installer; cache; obs;
-    module_root = "/ospack/modules" }
+  let ccache_path = ccache_file install_root in
+  (* an imported serialized cache (from a previous process) lands in the
+     vfs first, so loading it shares the persisted-file validation path:
+     fingerprint mismatches and corruption are discarded, never trusted *)
+  (match ccache_json with
+  | None -> ()
+  | Some json -> ignore (Vfs.write_file vfs ccache_path json));
+  let fingerprint = Ccache.fingerprint ~repo ~compilers ~config in
+  let ccache = Ccache.load ~obs ~fingerprint vfs ~path:ccache_path in
+  { vfs; config; repo; compilers; cctx; installer; cache; ccache;
+    ccache_path; obs; module_root = "/ospack/modules" }
+
+let save_ccache t =
+  (* best-effort: a failed persist never fails the command that
+     concretized (the in-memory cache is still authoritative) *)
+  ignore (Ccache.save t.ccache t.vfs ~path:t.ccache_path)
+
+let export_ccache t = Json.to_string ~indent:2 (Ccache.to_json t.ccache)
 
 let with_site_packages t site_pkgs =
   let site = Repository.create ~name:"site" site_pkgs in
@@ -53,4 +76,13 @@ let with_site_packages t site_pkgs =
       ~config:t.config ?cache:t.cache ~obs:t.obs ~vfs:t.vfs ~repo
       ~compilers:t.compilers ()
   in
-  { t with repo; cctx; installer }
+  (* the package universe changed, so the context fingerprint changes:
+     reloading under the new fingerprint discards any persisted entries
+     from the old universe (counted as an invalidation) *)
+  let fingerprint =
+    Ccache.fingerprint ~repo ~compilers:t.compilers ~config:t.config
+  in
+  let ccache =
+    Ccache.load ~obs:t.obs ~fingerprint t.vfs ~path:t.ccache_path
+  in
+  { t with repo; cctx; installer; ccache }

@@ -11,6 +11,14 @@ type t = {
   installer : Ospack_store.Installer.t;
   cache : Ospack_store.Buildcache.t option;
       (** binary build cache, when enabled via [cache_root] *)
+  ccache : Ospack_concretize.Ccache.t;
+      (** the fingerprinted concretization cache; always present (an empty
+          one costs nothing), fingerprinted over this context's repository,
+          compiler registry, and configuration *)
+  ccache_path : string;
+      (** where the concretization cache persists in the vfs
+          ([<install_root>/.spack-db/ccache.json], next to the database
+          index) *)
   obs : Ospack_obs.Obs.t;
       (** the observability sink every layer records into; disabled (and
           therefore free) unless [create] was given an enabled one *)
@@ -25,6 +33,7 @@ val create :
   ?scheme:Ospack_layout.Layout.scheme ->
   ?install_root:string ->
   ?cache_root:string ->
+  ?ccache_json:string ->
   ?obs:Ospack_obs.Obs.t ->
   unit ->
   t
@@ -34,6 +43,18 @@ val create :
     filesystem. [cache_root] enables a binary build cache at that path:
     installs pull matching hashes from it, and {!Commands.buildcache_push}
     archives built trees into it. *)
+
+val save_ccache : t -> unit
+(** Persist the concretization cache to [ccache_path] (crash-safe
+    write-then-rename). Best-effort: a failed persist never fails the
+    command that concretized. *)
+
+val export_ccache : t -> string
+(** The concretization cache serialized as JSON — the bridge for warm
+    starts across processes: write it to the real filesystem and pass it
+    back as [create]'s [ccache_json] (the CLI's [--ccache FILE] flag).
+    An export is only trusted on import if its fingerprint still
+    matches. *)
 
 val with_site_packages : t -> Ospack_package.Package.t list -> t
 (** A context whose repository layers the given site packages in front of

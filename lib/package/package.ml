@@ -223,6 +223,72 @@ let variant_defaults t =
     (fun v -> (v.Variant_decl.v_name, v.Variant_decl.v_default))
     t.p_variants
 
+(* The concretization-cache fingerprint needs a stable rendering of every
+   field that can influence concretization. Recipes are closures and cannot
+   be hashed, but they also cannot change what gets concretized — only how
+   it builds — so they are summarized by count/predicate. *)
+let identity_string t =
+  let buf = Buffer.create 256 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let spec_str = Ospack_spec.Printer.to_string in
+  let node_str = Ospack_spec.Printer.node_to_string in
+  let when_str = function None -> "" | Some w -> " when=" ^ spec_str w in
+  add "package %s\n" t.p_name;
+  add "description %s\n" t.p_description;
+  add "homepage %s\n" t.p_homepage;
+  (match t.p_url with None -> () | Some u -> add "url %s\n" u);
+  List.iter
+    (fun (v, md5, pref) ->
+      add "version %s md5=%s%s\n" (Version.to_string v)
+        (Option.value md5 ~default:"-")
+        (if pref then " preferred" else ""))
+    t.p_versions;
+  List.iter
+    (fun d ->
+      let kind =
+        match d.d_kind with Build -> "build" | Link -> "link" | Run -> "run"
+      in
+      add "depends_on %s kind=%s%s\n" (spec_str d.d_spec) kind
+        (when_str d.d_when))
+    t.p_dependencies;
+  List.iter
+    (fun p -> add "provides %s%s\n" (node_str p.pv_spec) (when_str p.pv_when))
+    t.p_provides;
+  List.iter
+    (fun p -> add "patch %s%s\n" p.pt_file (when_str p.pt_when))
+    t.p_patches;
+  List.iter
+    (fun v ->
+      add "variant %s default=%b descr=%s\n" v.Variant_decl.v_name
+        v.Variant_decl.v_default v.Variant_decl.v_description)
+    t.p_variants;
+  List.iter
+    (fun c ->
+      add "conflicts %s%s msg=%s\n" (node_str c.cf_spec) (when_str c.cf_when)
+        c.cf_msg)
+    t.p_conflicts;
+  List.iter
+    (fun f -> add "compiler_feature %s%s\n" f.fr_feature (when_str f.fr_when))
+    t.p_compiler_features;
+  (match t.p_extends with None -> () | Some e -> add "extends %s\n" e);
+  let bm = t.p_build_model in
+  let system =
+    match bm.Build_model.system with
+    | Build_model.Autotools -> "autotools"
+    | Build_model.Cmake -> "cmake"
+    | Build_model.Makefile_only -> "makefile"
+    | Build_model.Python_setup -> "python"
+  in
+  add "build_model %s src=%d hdr=%d cfg=%d link=%d cs=%g inst=%d\n" system
+    bm.Build_model.source_files bm.Build_model.headers_per_compile
+    bm.Build_model.configure_checks bm.Build_model.link_steps
+    bm.Build_model.compile_seconds bm.Build_model.install_files;
+  List.iter
+    (fun (pred, _) -> add "install_when %s\n" (spec_str pred))
+    t.p_install_special;
+  add "source %s\n" t.p_source;
+  Buffer.contents buf
+
 (* Predicate evaluation against the package's own node in a concrete spec:
    node-local constraints check the node itself; ^dep constraints check the
    rest of the DAG. *)

@@ -155,3 +155,14 @@ val patches_for : t -> Ospack_spec.Concrete.t -> string list
 (** Patch files whose [when=] predicate matches the package's node in the
     concrete spec (e.g. the BG/Q Python patches of §3.2.4), in declaration
     order — applied by the builder at staging time. *)
+
+val identity_string : t -> string
+(** A stable, line-oriented rendering of every declarative field that can
+    influence concretization (versions, dependencies, provides, variants,
+    conflicts, patches, compiler features, extends, build model, specialized
+    recipe predicates). Two packages with equal [identity_string]s
+    concretize identically; any edit that could change a concretization
+    changes the string. Feeds the concretization-cache context fingerprint
+    ({!Ospack_concretize.Ccache}). Install recipes are closures and are
+    summarized by their predicates only — they affect builds, not
+    concretization. *)

@@ -246,6 +246,30 @@ let walk fs path =
   | Ok (p, Ndir d) -> List.rev (go [] p d)
   | _ -> []
 
+let rename fs ~src ~dst =
+  let* sdir, sname = parent_dir fs ~create_missing:false src in
+  match Hashtbl.find_opt sdir sname with
+  | None -> Error (Not_found (Vpath.normalize src))
+  | Some node ->
+      let* ddir, dname = parent_dir fs ~create_missing:true dst in
+      let* () =
+        match Hashtbl.find_opt ddir dname with
+        | None -> Ok ()
+        | Some (Ndir d) -> (
+            match node with
+            | Ndir _ when Hashtbl.length d = 0 -> Ok ()
+            | _ -> Error (Is_a_directory (Vpath.normalize dst)))
+        | Some _ -> (
+            match node with
+            | Ndir _ -> Error (Not_a_directory (Vpath.normalize dst))
+            | _ -> Ok ())
+      in
+      fs.c.write <- fs.c.write + 1;
+      fs.c.unlink <- fs.c.unlink + 1;
+      Hashtbl.remove sdir sname;
+      Hashtbl.replace ddir dname node;
+      Ok ()
+
 let remove fs ?(recursive = false) path =
   let* dir, name = parent_dir fs ~create_missing:false path in
   fs.c.unlink <- fs.c.unlink + 1;

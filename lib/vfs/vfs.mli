@@ -86,6 +86,15 @@ val walk : t -> string -> (string * kind) list
     with their kinds; symlinks are reported, not followed. Empty list when
     the path is not a directory. *)
 
+val rename : t -> src:string -> dst:string -> (unit, error) result
+(** Atomically move the node at [src] (file, symlink, or directory — the
+    symlink itself, not its target) to [dst], creating [dst]'s parent
+    directories. An existing file or symlink at [dst] is replaced in one
+    step (the POSIX rename contract behind write-then-rename persistence:
+    readers see either the old or the new content, never a partial file).
+    A directory at [dst] must be empty and can only be replaced by a
+    directory. *)
+
 val remove : t -> ?recursive:bool -> string -> (unit, error) result
 (** Remove a file, symlink (not its target), or directory. Non-empty
     directories require [~recursive:true]. *)

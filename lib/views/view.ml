@@ -139,31 +139,32 @@ let merge vfs ~config ~view_root ~installed =
   { mr_linked = !linked; mr_conflicts = List.rev !conflicts }
 
 let sync vfs ~config ~rules ~installed =
+  (* values are a nonempty list by construction — (first, rest) — so the
+     winner fold below needs no unreachable empty case *)
   let by_link = Hashtbl.create 16 in
   List.iter
     (fun rule ->
       List.iter
         (fun (spec, prefix) ->
           let link = expand_rule rule spec in
-          let existing =
-            Option.value (Hashtbl.find_opt by_link link) ~default:[]
+          let entry =
+            match Hashtbl.find_opt by_link link with
+            | None -> ((spec, prefix), [])
+            | Some (first, rest) -> ((spec, prefix), first :: rest)
           in
-          Hashtbl.replace by_link link ((spec, prefix) :: existing))
+          Hashtbl.replace by_link link entry)
         installed)
     rules;
   Hashtbl.fold
-    (fun link candidates acc ->
+    (fun link (first, rest) acc ->
       let winner, losers =
-        match candidates with
-        | [] -> assert false
-        | first :: rest ->
-            List.fold_left
-              (fun (best, shadowed) (spec, prefix) ->
-                let bspec, bprefix = best in
-                if better config spec bspec then
-                  ((spec, prefix), bprefix :: shadowed)
-                else (best, prefix :: shadowed))
-              (first, []) rest
+        List.fold_left
+          (fun (best, shadowed) (spec, prefix) ->
+            let bspec, bprefix = best in
+            if better config spec bspec then
+              ((spec, prefix), bprefix :: shadowed)
+            else (best, prefix :: shadowed))
+          (first, []) rest
       in
       let _, target = winner in
       (match Vfs.kind_of vfs link with

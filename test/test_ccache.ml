@@ -1,0 +1,320 @@
+(* The fingerprinted concretization cache: fingerprint sensitivity to
+   every declarative input, lookup/store/seed semantics, validated
+   persistence (stale and corrupt caches are discarded, never trusted),
+   and the cached-concretization entry point's three layers. *)
+
+open Ospack_package.Package
+module Repository = Ospack_package.Repository
+module Compilers = Ospack_config.Compilers
+module Config = Ospack_config.Config
+module Concretizer = Ospack_concretize.Concretizer
+module Ccache = Ospack_concretize.Ccache
+module Concrete = Ospack_spec.Concrete
+module Parser = Ospack_spec.Parser
+module Obs = Ospack_obs.Obs
+module Vfs = Ospack_vfs.Vfs
+module Json = Ospack_json.Json
+
+let base_packages () =
+  [
+    make_pkg "app"
+      [
+        version "1.0"; version "2.0";
+        depends_on "libx"; depends_on "mpi";
+        variant "debug" ~descr:"debug symbols";
+      ];
+    make_pkg "libx" [ version "0.5"; version "0.6" ];
+    make_pkg "mympi"
+      [ version "1.9"; version "2.1"; provides "mpi@:2.2" ];
+  ]
+
+let compilers = Compilers.create [ Compilers.toolchain "gcc" "4.9.2" ]
+
+let fp ?(config = Config.empty) ?(comps = compilers) packages =
+  Ccache.fingerprint ~repo:(Repository.create packages) ~compilers:comps
+    ~config
+
+let ctx_of ?(config = Config.empty) ?obs packages =
+  Concretizer.make_ctx ~config ?obs ~compilers
+    (Repository.create packages)
+
+let parse = Parser.parse_exn
+
+let concretize_ok ?cache ?installed ctx spec =
+  match Concretizer.concretize_cached ?cache ?installed ctx (parse spec) with
+  | Ok c -> c
+  | Error e ->
+      Alcotest.failf "%s failed to concretize: %s" spec
+        (Ospack_concretize.Cerror.to_string e)
+
+(* --- fingerprint sensitivity --- *)
+
+let fingerprint_deterministic () =
+  Alcotest.(check string) "same inputs, same fingerprint"
+    (fp (base_packages ()))
+    (fp (base_packages ()));
+  Alcotest.(check int) "64 hex chars" 64 (String.length (fp (base_packages ())))
+
+let fingerprint_recipe_mutation () =
+  let base = fp (base_packages ()) in
+  (* adding a version to one package is the classic recipe edit: the old
+     cache could hold a now-suboptimal pin and must be invalidated *)
+  let bumped =
+    make_pkg "libx" [ version "0.5"; version "0.6"; version "0.7" ]
+    :: List.filter (fun p -> p.p_name <> "libx") (base_packages ())
+  in
+  Alcotest.(check bool) "new version changes fingerprint" true
+    (fp bumped <> base);
+  (* so does a new dependency edge *)
+  let rewired =
+    make_pkg "libx" [ version "0.5"; version "0.6"; depends_on "mympi" ]
+    :: List.filter (fun p -> p.p_name <> "libx") (base_packages ())
+  in
+  Alcotest.(check bool) "new dependency changes fingerprint" true
+    (fp rewired <> base);
+  (* and a variant default flip *)
+  let flipped =
+    make_pkg "app"
+      [
+        version "1.0"; version "2.0";
+        depends_on "libx"; depends_on "mpi";
+        variant "debug" ~default:true ~descr:"debug symbols";
+      ]
+    :: List.filter (fun p -> p.p_name <> "app") (base_packages ())
+  in
+  Alcotest.(check bool) "variant default changes fingerprint" true
+    (fp flipped <> base)
+
+let fingerprint_compiler_mutation () =
+  let base = fp (base_packages ()) in
+  let more =
+    Compilers.create
+      [ Compilers.toolchain "gcc" "4.9.2"; Compilers.toolchain "intel" "15.0" ]
+  in
+  Alcotest.(check bool) "extra toolchain changes fingerprint" true
+    (fp ~comps:more (base_packages ()) <> base);
+  let newer = Compilers.create [ Compilers.toolchain "gcc" "5.3.0" ] in
+  Alcotest.(check bool) "toolchain version changes fingerprint" true
+    (fp ~comps:newer (base_packages ()) <> base)
+
+let fingerprint_config_mutation () =
+  let base = fp (base_packages ()) in
+  (* any config key participates: the concretization policy reads its
+     preferences from here, so covering the config covers the policy *)
+  let prefer = Config.of_assoc [ ("prefer_compiler", "intel") ] in
+  Alcotest.(check bool) "policy config changes fingerprint" true
+    (fp ~config:prefer (base_packages ()) <> base)
+
+(* --- lookup / store / seeds --- *)
+
+let lookup_store_semantics () =
+  let obs = Obs.create () in
+  let packages = base_packages () in
+  let cache = Ccache.create ~obs ~fingerprint:(fp packages) () in
+  let ctx = ctx_of packages in
+  let ast = parse "app@1.0+debug" in
+  Alcotest.(check bool) "cold lookup misses" true
+    (Ccache.lookup cache ast = None);
+  let c = concretize_ok ~cache ctx "app@1.0+debug" in
+  Alcotest.(check int) "one authoritative entry" 1 (Ccache.length cache);
+  (match Ccache.lookup cache ast with
+  | Some c' -> Alcotest.(check bool) "hit equals stored" true (Concrete.equal c c')
+  | None -> Alcotest.fail "warm lookup should hit");
+  (* the same AST spelled differently shares the canonical key *)
+  (match Ccache.lookup cache (parse "app +debug @1.0") with
+  | Some _ -> ()
+  | None -> Alcotest.fail "canonicalized spelling should hit");
+  Alcotest.(check int) "misses counted" 2 (Obs.counter obs "ccache.misses");
+  Alcotest.(check bool) "hits counted" true (Obs.counter obs "ccache.hits" >= 2);
+  (* every node of the stored DAG became an advisory seed... *)
+  let seed_names = List.map fst (Ccache.seeds cache) in
+  List.iter
+    (fun n ->
+      Alcotest.(check bool) (n ^ " seeded") true (List.mem n seed_names))
+    [ "app"; "libx"; "mympi" ];
+  (* ...but seeds are never whole-query answers: libx has a seed yet its
+     own query still misses *)
+  Alcotest.(check bool) "seed is not an entry" true
+    (Ccache.lookup cache (parse "libx") = None)
+
+let cached_equals_cold () =
+  let packages = base_packages () in
+  let cache = Ccache.create ~fingerprint:(fp packages) () in
+  let ctx = ctx_of packages in
+  List.iter
+    (fun spec ->
+      let cold =
+        match Concretizer.concretize ctx (parse spec) with
+        | Ok c -> c
+        | Error _ -> Alcotest.failf "%s should concretize" spec
+      in
+      let first = concretize_ok ~cache ctx spec in
+      let warm = concretize_ok ~cache ctx spec in
+      Alcotest.(check bool) (spec ^ ": cached = cold") true
+        (Concrete.equal cold first && Concrete.equal cold warm))
+    [ "app"; "app@1.0"; "app+debug"; "libx"; "mympi@1.9"; "mpi" ]
+
+let reuse_layer () =
+  let obs = Obs.create () in
+  let packages = base_packages () in
+  let cache = Ccache.create ~obs ~fingerprint:(fp packages) () in
+  (* reuse_hits is recorded on the concretizer context's sink *)
+  let ctx = ctx_of ~obs packages in
+  let installed_spec = concretize_ok ctx "app@1.0" in
+  let installed ast =
+    if Concrete.satisfies installed_spec ast then Some installed_spec else None
+  in
+  let entries_before = Ccache.length cache in
+  let got = concretize_ok ~cache ~installed ctx "app" in
+  Alcotest.(check bool) "reuse returns the installed spec as-is" true
+    (Concrete.equal got installed_spec);
+  Alcotest.(check int) "reuse hit counted" 1
+    (Obs.counter obs "ccache.reuse_hits");
+  Alcotest.(check int) "reuse result not stored back" entries_before
+    (Ccache.length cache);
+  (* a query the store cannot satisfy falls through to the solver *)
+  let solved = concretize_ok ~cache ~installed ctx "app@2.0" in
+  Alcotest.(check bool) "fallthrough solves fresh" true
+    (not (Concrete.equal solved installed_spec))
+
+(* --- persistence and invalidation --- *)
+
+let save_load_roundtrip () =
+  let packages = base_packages () in
+  let fingerprint = fp packages in
+  let cache = Ccache.create ~fingerprint () in
+  let ctx = ctx_of packages in
+  let c = concretize_ok ~cache ctx "app@1.0" in
+  let fs = Vfs.create () in
+  let path = "/store/.spack-db/ccache.json" in
+  (match Ccache.save cache fs ~path with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "save failed: %s" e);
+  Alcotest.(check bool) "no temp file left behind" false
+    (Vfs.exists fs (path ^ ".tmp"));
+  let obs = Obs.create () in
+  let reloaded = Ccache.load ~obs ~fingerprint fs ~path in
+  Alcotest.(check int) "entries survive" 1 (Ccache.length reloaded);
+  (match Ccache.lookup reloaded (parse "app@1.0") with
+  | Some c' ->
+      Alcotest.(check bool) "reloaded entry identical" true (Concrete.equal c c')
+  | None -> Alcotest.fail "reloaded cache should hit");
+  Alcotest.(check bool) "seeds rebuilt from entries" true
+    (List.mem_assoc "libx" (Ccache.seeds reloaded));
+  Alcotest.(check int) "clean load is not an invalidation" 0
+    (Obs.counter obs "ccache.invalidations")
+
+let stale_fingerprint_discarded () =
+  let packages = base_packages () in
+  let cache = Ccache.create ~fingerprint:(fp packages) () in
+  let ctx = ctx_of packages in
+  ignore (concretize_ok ~cache ctx "app@1.0");
+  let fs = Vfs.create () in
+  let path = "/store/.spack-db/ccache.json" in
+  (match Ccache.save cache fs ~path with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "save failed: %s" e);
+  (* mutate the universe: the persisted cache is now stale *)
+  let mutated =
+    make_pkg "libx" [ version "0.5"; version "0.6"; version "0.9" ]
+    :: List.filter (fun p -> p.p_name <> "libx") packages
+  in
+  let obs = Obs.create () in
+  let reloaded = Ccache.load ~obs ~fingerprint:(fp mutated) fs ~path in
+  Alcotest.(check int) "stale cache discarded wholesale" 0
+    (Ccache.length reloaded);
+  Alcotest.(check int) "invalidation counted" 1
+    (Obs.counter obs "ccache.invalidations");
+  Alcotest.(check bool) "no stale entry served" true
+    (Ccache.lookup reloaded (parse "app@1.0") = None)
+
+let corrupt_cache_ignored () =
+  let fingerprint = fp (base_packages ()) in
+  let fs = Vfs.create () in
+  let path = "/store/.spack-db/ccache.json" in
+  let load_counting content =
+    (match Vfs.write_file fs path content with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "write: %s" (Vfs.error_to_string e));
+    let obs = Obs.create () in
+    let c = Ccache.load ~obs ~fingerprint fs ~path in
+    (Ccache.length c, Obs.counter obs "ccache.invalidations")
+  in
+  Alcotest.(check (pair int int)) "unparsable JSON" (0, 1)
+    (load_counting "{ not json");
+  Alcotest.(check (pair int int)) "wrong shape" (0, 1)
+    (load_counting "[1, 2, 3]");
+  Alcotest.(check (pair int int)) "future format version" (0, 1)
+    (load_counting
+       (Printf.sprintf
+          "{\"format\": 99, \"fingerprint\": %S, \"entries\": []}" fingerprint));
+  Alcotest.(check (pair int int)) "entry that is not a concrete spec" (0, 1)
+    (load_counting
+       (Printf.sprintf
+          "{\"format\": 1, \"fingerprint\": %S, \"entries\": [{\"key\": \
+           \"app\", \"value\": 42}]}"
+          fingerprint));
+  (* a missing file is an empty cache, not corruption *)
+  let obs = Obs.create () in
+  let c = Ccache.load ~obs ~fingerprint fs ~path:"/store/absent.json" in
+  Alcotest.(check int) "missing file is empty" 0 (Ccache.length c);
+  Alcotest.(check int) "missing file is not an invalidation" 0
+    (Obs.counter obs "ccache.invalidations")
+
+let mutation_forces_miss_end_to_end () =
+  (* the full cycle a user sees: concretize, persist, edit a recipe,
+     concretize again — the second run must re-solve, not replay *)
+  let packages = base_packages () in
+  let fs = Vfs.create () in
+  let path = "/store/.spack-db/ccache.json" in
+  let cache = Ccache.create ~fingerprint:(fp packages) () in
+  let c1 = concretize_ok ~cache (ctx_of packages) "libx" in
+  (match Ccache.save cache fs ~path with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "save failed: %s" e);
+  Alcotest.(check string) "cold pick is newest" "0.6"
+    (Ospack_version.Version.to_string (Concrete.root_node c1).Concrete.version);
+  let bumped =
+    make_pkg "libx" [ version "0.5"; version "0.6"; version "0.7" ]
+    :: List.filter (fun p -> p.p_name <> "libx") packages
+  in
+  let obs = Obs.create () in
+  let cache2 = Ccache.load ~obs ~fingerprint:(fp bumped) fs ~path in
+  let c2 = concretize_ok ~cache:cache2 (ctx_of bumped) "libx" in
+  Alcotest.(check int) "stale entries invalidated" 1
+    (Obs.counter obs "ccache.invalidations");
+  Alcotest.(check int) "second run is a miss" 1
+    (Obs.counter obs "ccache.misses");
+  Alcotest.(check string) "re-solve sees the new version" "0.7"
+    (Ospack_version.Version.to_string (Concrete.root_node c2).Concrete.version)
+
+let () =
+  Alcotest.run "ccache"
+    [
+      ( "fingerprint",
+        [
+          Alcotest.test_case "deterministic" `Quick fingerprint_deterministic;
+          Alcotest.test_case "recipe mutation" `Quick
+            fingerprint_recipe_mutation;
+          Alcotest.test_case "compiler mutation" `Quick
+            fingerprint_compiler_mutation;
+          Alcotest.test_case "config mutation" `Quick
+            fingerprint_config_mutation;
+        ] );
+      ( "memo",
+        [
+          Alcotest.test_case "lookup/store/seeds" `Quick lookup_store_semantics;
+          Alcotest.test_case "cached = cold" `Quick cached_equals_cold;
+          Alcotest.test_case "store-aware reuse" `Quick reuse_layer;
+        ] );
+      ( "persistence",
+        [
+          Alcotest.test_case "save/load round-trip" `Quick save_load_roundtrip;
+          Alcotest.test_case "stale fingerprint discarded" `Quick
+            stale_fingerprint_discarded;
+          Alcotest.test_case "corrupt cache ignored" `Quick
+            corrupt_cache_ignored;
+          Alcotest.test_case "recipe edit forces re-solve" `Quick
+            mutation_forces_miss_end_to_end;
+        ] );
+    ]

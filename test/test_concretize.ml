@@ -260,6 +260,46 @@ let error_classes () =
   | Cerror.Unused_constraint { package = "gerris"; _ } -> ()
   | e -> Alcotest.failf "wrong error: %s" (Cerror.to_string e))
 
+(* regression for the former [assert false] landmines in the version and
+   provider decision sites: every pathological input must surface as a
+   typed [Cerror.t], never an assertion or match failure *)
+let typed_errors_never_raise () =
+  let ctx = ctx_of () in
+  List.iter
+    (fun spec ->
+      match Concretizer.concretize ctx (Parser.parse_exn spec) with
+      | Ok _ | Error _ -> ()
+      | exception Invalid_argument _ -> () (* parse-time conflict *)
+      | exception e ->
+          Alcotest.failf "%s raised %s instead of returning a typed error"
+            spec (Printexc.to_string e))
+    [
+      "nosuchpkg";
+      "mpileaks@99";
+      "mpileaks@99 ^nosuchdep";
+      "libelf@2:3";
+      "mpi@9:";
+      "mpi";
+      "mpileaks ^mpi@9:";
+      "gerris ^mpich@1.4";
+      "gerris ^mpich@1.4 ^callpath@0.1";
+      "mpileaks %xl";
+      "mpileaks %xl@99";
+      "mpileaks =vax";
+      "mpileaks +nonvariant";
+      "mpileaks ^gerris";
+      "mpileaks ^callpath@9 ^dyninst@0.1";
+      "mvapich2@1.9 ^mvapich2@2.0";
+    ];
+  (* the single-candidate and multi-candidate version decision paths both
+     stay on the typed-result rails *)
+  let c = ok ctx "libdwarf" in
+  Alcotest.(check string) "single version candidate" "20130729"
+    (Version.to_string (node c "libdwarf").Concrete.version);
+  let c = ok ctx "libelf" in
+  Alcotest.(check string) "multi version candidate picks newest" "0.8.13"
+    (Version.to_string (node c "libelf").Concrete.version)
+
 let declared_conflicts () =
   let extra =
     [
@@ -580,6 +620,8 @@ let () =
       ( "failures",
         [
           Alcotest.test_case "error classes" `Quick error_classes;
+          Alcotest.test_case "typed errors, never assertions" `Quick
+            typed_errors_never_raise;
           Alcotest.test_case "declared conflicts" `Quick declared_conflicts;
           Alcotest.test_case "dependency cycles" `Quick dependency_cycles;
         ] );

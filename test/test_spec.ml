@@ -145,6 +145,74 @@ let print_parse_roundtrip () =
       "@2.4 +x -y =linux";
     ]
 
+(* every form the Fig. 3 grammar can produce, one representative (or a
+   few) per production: the printer must emit syntax the parser maps back
+   to the same AST — parse (print (parse s)) = parse s *)
+let roundtrip_every_form () =
+  let check_rt s =
+    let t = parse s in
+    let printed = Printer.to_string t in
+    match Parser.parse printed with
+    | Ok t2 ->
+        if not (Ast.equal t t2) then
+          Alcotest.failf "%s printed as %s which parses differently" s
+            printed
+    | Error e -> Alcotest.failf "%s printed as unparseable %s: %s" s printed e
+  in
+  List.iter check_rt
+    [
+      (* bare package *)
+      "mpileaks";
+      (* version constraints: point, ranges open and closed, unions *)
+      "mpileaks@1.1.2";
+      "mpileaks@1.2:";
+      "mpileaks@:1.4";
+      "mpileaks@1.2:1.4";
+      "mpileaks@1.2:1.4,1.6:";
+      "mpileaks@1.0,1.2:1.4,2:";
+      (* variants: enabled, disabled via ~ and via - *)
+      "mpileaks+debug";
+      "mpileaks~shared";
+      "mpileaks -shared";
+      "mpileaks+debug+mpi~shared";
+      (* compilers: bare, versioned, version lists *)
+      "mpileaks%gcc";
+      "mpileaks%gcc@4.7.3";
+      "mpileaks%gcc@4.7:4.9,5.1";
+      "mpileaks%intel@14.1:";
+      (* architecture *)
+      "mpileaks=bgq";
+      (* everything on one node *)
+      "mpileaks@1.1.2%intel@14.1+debug~shared=bgq";
+      (* dependencies: bare, constrained, fully constrained, several *)
+      "mpileaks ^mpich";
+      "mpileaks ^mpich@1.9";
+      "mpileaks ^mpich@1.9%gcc@4.7.2+debug=linux";
+      "mpileaks ^callpath@1.1 ^openmpi@1.4.7";
+      "mpileaks@1.2:1.4%gcc@4.7.5-debug=bgq ^callpath@1.1%gcc@4.7.2 \
+       ^openmpi@1.4.7";
+      (* repeated constraints on the same node or dep merge before
+         printing, so the printed form is the normalized one *)
+      "pkg@1.0: @:2.0";
+      "a ^b@1.0 ^b+x";
+      (* anonymous specs (when= clauses): each constraint kind alone *)
+      "@2.4";
+      "+debug";
+      "~shared";
+      "=bgq";
+      "%gcc@:4";
+      "@2.4 +x -y =linux";
+      "%gcc@4.7.3+mpi";
+    ];
+  (* and every package in the universe under a battery of constraint
+     suffixes — names with dashes/digits must survive the printer too *)
+  let suffixes = [ ""; "@1:"; "+debug"; "%gcc@4:"; "=linux"; " ^zlib@1:" ] in
+  List.iter
+    (fun name ->
+      List.iter (fun suffix -> check_rt (name ^ suffix)) suffixes)
+    (Ospack_package.Repository.package_names
+       (Ospack_repo.Universe.repository ()))
+
 (* random abstract specs for the round-trip property *)
 let arb_spec_string =
   let open QCheck.Gen in
@@ -468,6 +536,8 @@ let () =
           Alcotest.test_case "details" `Quick parser_details;
           Alcotest.test_case "errors" `Quick parser_errors;
           Alcotest.test_case "print/parse round-trip" `Quick print_parse_roundtrip;
+          Alcotest.test_case "round-trip, every grammar form" `Quick
+            roundtrip_every_form;
           Alcotest.test_case "error positions" `Quick lexer_error_positions;
           Alcotest.test_case "compiler version lists" `Quick
             compiler_version_lists;

@@ -135,6 +135,43 @@ let arb_files =
   in
   QCheck.make gen
 
+let rename_cases () =
+  let fs = Vfs.create () in
+  ignore (Vfs.write_file fs "/db/cache.json.tmp" "v1");
+  (* plain move, parents created on demand *)
+  Alcotest.(check (result unit err)) "move" (Ok ())
+    (Vfs.rename fs ~src:"/db/cache.json.tmp" ~dst:"/db/deep/cache.json");
+  Alcotest.(check (result string err)) "content travels" (Ok "v1")
+    (Vfs.read_file fs "/db/deep/cache.json");
+  Alcotest.(check bool) "source gone" false (Vfs.exists fs "/db/cache.json.tmp");
+  (* the write-then-rename pattern: rename atomically replaces the
+     destination, readers see old or new content, never a torn file *)
+  ignore (Vfs.write_file fs "/db/deep/cache.json.tmp" "v2");
+  Alcotest.(check (result unit err)) "replace existing" (Ok ())
+    (Vfs.rename fs ~src:"/db/deep/cache.json.tmp" ~dst:"/db/deep/cache.json");
+  Alcotest.(check (result string err)) "replaced content" (Ok "v2")
+    (Vfs.read_file fs "/db/deep/cache.json");
+  (* error contract mirrors POSIX rename(2) *)
+  Alcotest.(check (result unit err)) "missing source"
+    (Error (Vfs.Not_found "/db/nope"))
+    (Vfs.rename fs ~src:"/db/nope" ~dst:"/db/x");
+  ignore (Vfs.mkdir_p fs "/db/dir");
+  Alcotest.(check bool) "file over directory refused" true
+    (Result.is_error
+       (Vfs.rename fs ~src:"/db/deep/cache.json" ~dst:"/db/dir"));
+  Alcotest.(check (result string err)) "refused rename left source intact"
+    (Ok "v2")
+    (Vfs.read_file fs "/db/deep/cache.json");
+  (* a directory can move, and may land on an empty directory *)
+  ignore (Vfs.write_file fs "/db/dir/f" "x");
+  ignore (Vfs.mkdir_p fs "/db/empty");
+  Alcotest.(check (result unit err)) "directory over empty directory" (Ok ())
+    (Vfs.rename fs ~src:"/db/dir" ~dst:"/db/empty");
+  Alcotest.(check (result string err)) "tree travels" (Ok "x")
+    (Vfs.read_file fs "/db/empty/f");
+  Alcotest.(check bool) "directory over file refused" true
+    (Result.is_error (Vfs.rename fs ~src:"/db/empty" ~dst:"/db/deep/cache.json"))
+
 let write_read_consistent =
   QCheck.Test.make ~name:"last write wins for every path" ~count:100 arb_files
     (fun files ->
@@ -166,6 +203,7 @@ let () =
           Alcotest.test_case "symlink loops" `Quick symlink_loops;
           Alcotest.test_case "ls and walk" `Quick ls_and_walk;
           Alcotest.test_case "removal" `Quick removal;
+          Alcotest.test_case "rename" `Quick rename_cases;
           Alcotest.test_case "operation counters" `Quick counters;
           QCheck_alcotest.to_alcotest write_read_consistent;
         ] );

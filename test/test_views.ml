@@ -91,6 +91,26 @@ let conflict_resolution () =
   Alcotest.(check string) "site compiler preference wins over version"
     "/icc-old" r.View.lr_target
 
+let three_way_conflict () =
+  (* three specs colliding on one link: the winner fold walks a two-deep
+     rest list, and the outcome must not depend on insertion order *)
+  let a = spec "tool" "1.0" and b = spec "tool" "2.0" and c = spec "tool" "3.0" in
+  let run installed =
+    let vfs = Vfs.create () in
+    List.hd
+      (View.sync vfs ~config:Config.empty
+         ~rules:[ "/views/${PACKAGE}" ]
+         ~installed)
+  in
+  let r = run [ (a, "/a"); (b, "/b"); (c, "/c") ] in
+  Alcotest.(check string) "newest of three wins" "/c" r.View.lr_target;
+  Alcotest.(check (list string)) "both losers recorded" [ "/a"; "/b" ]
+    r.View.lr_shadowed;
+  let r = run [ (c, "/c"); (a, "/a"); (b, "/b") ] in
+  Alcotest.(check string) "order-independent winner" "/c" r.View.lr_target;
+  Alcotest.(check (list string)) "order-independent losers" [ "/a"; "/b" ]
+    r.View.lr_shadowed
+
 let sync_updates () =
   let vfs = Vfs.create () in
   let v1 = spec "tool" "1.0" in
@@ -227,6 +247,7 @@ let () =
           Alcotest.test_case "link materialization" `Quick sync_links;
           Alcotest.test_case "conflict preference (§4.3.1)" `Quick
             conflict_resolution;
+          Alcotest.test_case "three-way conflict" `Quick three_way_conflict;
           Alcotest.test_case "re-sync updates links" `Quick sync_updates;
         ] );
       ( "extensions",

@@ -124,6 +124,164 @@ let vrange_printing () =
        | Some r -> r
        | None -> Alcotest.fail "nonempty"))
 
+(* --- exhaustive Vrange properties over a small version universe ---
+
+   QCheck sampling above can miss the corners of the prefix-inclusive
+   endpoint semantics; here we enumerate *every* range constructible from
+   a small version universe and check the algebraic laws on all of them.
+   The universe has two component values and a third level under 1.1 so
+   that prefix extensions ([:1.1] admitting [1.1.2]) are exercised. *)
+
+let universe_versions =
+  List.map v [ "1"; "2"; "1.1"; "1.2"; "2.1"; "2.2"; "1.1.1"; "1.1.2" ]
+
+let universe_ranges =
+  let open Ospack_version.Vrange in
+  let bounds = None :: List.map Option.some universe_versions in
+  List.map point universe_versions
+  @ List.concat_map
+      (fun lo -> List.map (fun hi -> range lo hi) bounds)
+      bounds
+
+(* membership probes: the universe itself plus versions just outside it
+   and deeper prefix extensions, so semantic equality checked over the
+   probes distinguishes prefix-inclusive bounds from strict ones *)
+let probes =
+  List.map v
+    [ "1"; "2"; "1.1"; "1.2"; "2.1"; "2.2"; "1.1.1"; "1.1.2";
+      "0"; "3"; "0.9"; "1.3"; "2.9"; "1.10";
+      "1.1.0"; "1.1.3"; "1.1.9"; "2.2.3"; "2.1.3";
+      "1.1.1.5"; "1.1.2.9"; "1.2.9"; "2.2.1"; "2.1.0" ]
+
+let sem_eq a b =
+  let open Ospack_version.Vrange in
+  List.for_all (fun x -> mem x a = mem x b) probes
+
+let exhaustive_intersect_sound () =
+  let open Ospack_version.Vrange in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          let i = intersect a b in
+          (match i with
+          | Some r when is_empty r ->
+              Alcotest.failf "intersect %s %s returned Some empty"
+                (to_string a) (to_string b)
+          | _ -> ());
+          List.iter
+            (fun x ->
+              let got =
+                match i with Some r -> mem x r | None -> false
+              in
+              if got <> (mem x a && mem x b) then
+                Alcotest.failf "intersect %s %s wrong at %s" (to_string a)
+                  (to_string b) (Version.to_string x))
+            probes)
+        universe_ranges)
+    universe_ranges
+
+let exhaustive_intersect_commutative () =
+  let open Ospack_version.Vrange in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          match (intersect a b, intersect b a) with
+          | None, None -> ()
+          | Some r1, Some r2 when sem_eq r1 r2 -> ()
+          | _ ->
+              Alcotest.failf "intersect not commutative on %s / %s"
+                (to_string a) (to_string b))
+        universe_ranges)
+    universe_ranges
+
+let exhaustive_intersect_associative () =
+  let open Ospack_version.Vrange in
+  let ( >>= ) o f = Option.bind o f in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          let ab = intersect a b in
+          List.iter
+            (fun c ->
+              let left = ab >>= fun r -> intersect r c in
+              let right = intersect b c >>= fun r -> intersect a r in
+              match (left, right) with
+              | None, None -> ()
+              | Some r1, Some r2 when sem_eq r1 r2 -> ()
+              | _ ->
+                  Alcotest.failf "intersect not associative on %s / %s / %s"
+                    (to_string a) (to_string b) (to_string c))
+            universe_ranges)
+        universe_ranges)
+    universe_ranges
+
+let exhaustive_subset_is_intersect () =
+  (* subset a b  ⟺  intersect a b = Some a, up to normalization *)
+  let open Ospack_version.Vrange in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          if not (is_empty a) then
+            let by_intersect =
+              match intersect a b with
+              | Some r -> sem_eq r a
+              | None -> false
+            in
+            if subset a b <> by_intersect then
+              Alcotest.failf "subset %s %s = %b but intersect says %b"
+                (to_string a) (to_string b) (subset a b) by_intersect)
+        universe_ranges)
+    universe_ranges
+
+let exhaustive_union_sound () =
+  let open Ospack_version.Vrange in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          if not (is_empty a || is_empty b) then
+            match union_if_overlapping a b with
+            | Some u ->
+                List.iter
+                  (fun x ->
+                    if mem x u <> (mem x a || mem x b) then
+                      Alcotest.failf
+                        "union_if_overlapping %s %s wrong at %s"
+                        (to_string a) (to_string b) (Version.to_string x))
+                  probes
+            | None ->
+                List.iter
+                  (fun x ->
+                    if mem x a && mem x b then
+                      Alcotest.failf
+                        "union_if_overlapping %s %s claims disjoint but \
+                         share %s"
+                        (to_string a) (to_string b) (Version.to_string x))
+                  probes)
+        universe_ranges)
+    universe_ranges
+
+let prefix_inclusive_endpoints () =
+  let open Ospack_version.Vrange in
+  (* the paper's prefix-inclusive reading of open-ended constraints *)
+  Alcotest.(check bool) "1.4: admits 1.4.2" true
+    (mem (v "1.4.2") (range (Some (v "1.4")) None));
+  Alcotest.(check bool) ":1.4 admits 1.4.9" true
+    (mem (v "1.4.9") (range None (Some (v "1.4"))));
+  Alcotest.(check bool) "1.4: rejects 1.3.9" false
+    (mem (v "1.3.9") (range (Some (v "1.4")) None));
+  Alcotest.(check bool) ":1.4 rejects 1.5" false
+    (mem (v "1.5") (range None (Some (v "1.4"))));
+  (* and the same through the Vlist parser *)
+  Alcotest.(check bool) "@1.4: admits 1.4.2" true
+    (Vlist.mem (v "1.4.2") (vl "1.4:"));
+  Alcotest.(check bool) "@:1.4 admits 1.4.9" true
+    (Vlist.mem (v "1.4.9") (vl ":1.4"))
+
 (* --- properties --- *)
 
 let version_gen =
@@ -204,6 +362,21 @@ let () =
             vrange_membership;
           Alcotest.test_case "union" `Quick vrange_union;
           Alcotest.test_case "printing" `Quick vrange_printing;
+          Alcotest.test_case "prefix-inclusive endpoints" `Quick
+            prefix_inclusive_endpoints;
+        ] );
+      ( "exhaustive",
+        [
+          Alcotest.test_case "intersect sound" `Quick
+            exhaustive_intersect_sound;
+          Alcotest.test_case "intersect commutative" `Quick
+            exhaustive_intersect_commutative;
+          Alcotest.test_case "intersect associative" `Quick
+            exhaustive_intersect_associative;
+          Alcotest.test_case "subset is intersect-identity" `Quick
+            exhaustive_subset_is_intersect;
+          Alcotest.test_case "union_if_overlapping sound" `Quick
+            exhaustive_union_sound;
         ] );
       ( "properties",
         [
