@@ -744,7 +744,7 @@ let concretize_mode path =
   let repo = Universe.repository () in
   let config = Universe.default_config in
   let compilers = Universe.compilers in
-  let fingerprint = Ccache.fingerprint ~repo ~compilers ~config in
+  let fingerprint = Ccache.fingerprint ~repo ~compilers ~config () in
   let newest name =
     match Repository.find repo name with
     | Some p -> (
@@ -877,6 +877,136 @@ let concretize_mode path =
     (List.length rows) path cold_total warm_total seeded_total reuse_hits
     (List.length rows)
 
+(* `main.exe solve [PATH]` — the differential backend benchmark: both
+   concretizer backends over the 21-workload suite (the seven Fig. 10/11
+   packages x three abstract forms), plus the §4.5 hwloc divergence spec
+   and a truly unsatisfiable one. Asserts the divergence contract:
+   - every greedy-solvable workload: byte-identical agreement (JSON +
+     rendered tree) between greedy and clauses;
+   - the divergence spec: greedy UNSAT, clauses SAT (and the model
+     satisfies the query);
+   - the unsat spec: both UNSAT, with a non-empty clause-backend core. *)
+let solve_mode path =
+  let module Obs = Ospack_obs.Obs in
+  let module Json = Ospack_json.Json in
+  let module I = Ospack_concretize.Concretizer_intf in
+  let module Backends = Ospack_concretize.Backends in
+  let repo = Universe.repository () in
+  let config = Universe.default_config in
+  let compilers = Universe.compilers in
+  let newest name =
+    match Repository.find repo name with
+    | Some p -> (
+        match Ospack_package.Package.known_versions p with
+        | v :: _ -> Version.to_string v
+        | [] -> failwith (name ^ ": no versions"))
+    | None -> failwith ("unknown package " ^ name)
+  in
+  let workloads =
+    List.concat_map
+      (fun (name, _, _) ->
+        [ name; name ^ " %gcc"; Printf.sprintf "%s@%s" name (newest name) ])
+      fig10_packages
+  in
+  let parse s =
+    match Parser.parse s with
+    | Ok a -> a
+    | Error e -> failwith (s ^ ": " ^ e)
+  in
+  let render c =
+    Json.to_string (Concrete.to_json c) ^ "\n" ^ Concrete.tree_string c
+  in
+  let run backend ast =
+    let cctx =
+      Concretizer.make_ctx ~config ~obs:(Obs.create ()) ~compilers repo
+    in
+    time_it (fun () -> Backends.solve_full backend cctx ast)
+  in
+  let stats_json (s : I.stats) secs =
+    Json.Obj
+      [
+        ("decisions", Json.Int s.I.st_decisions);
+        ("propagations", Json.Int s.I.st_propagations);
+        ("conflicts", Json.Int s.I.st_conflicts);
+        ("restarts", Json.Int s.I.st_restarts);
+        ("greedy_runs", Json.Int s.I.st_runs);
+        ("iterations", Json.Int s.I.st_iterations);
+        ("wall_ms", Json.Float (1000.0 *. secs));
+      ]
+  in
+  let rows =
+    List.map
+      (fun s ->
+        let ast = parse s in
+        let g, g_secs = run Backends.Greedy ast in
+        let c, c_secs = run Backends.Clauses ast in
+        (match (g.I.oc_result, c.I.oc_result) with
+        | Ok gc, Ok cc ->
+            if render gc <> render cc then
+              failwith (s ^ ": backends disagree on a greedy-solvable spec")
+        | _ -> failwith (s ^ ": workload did not solve on both backends"));
+        Json.Obj
+          [
+            ("spec", Json.String s);
+            ("greedy", stats_json g.I.oc_stats g_secs);
+            ("clauses", stats_json c.I.oc_stats c_secs);
+            ("agree", Json.Bool true);
+          ])
+      workloads
+  in
+  (* the §4.5 divergence: greedy dead-ends on the site-ranked provider;
+     the complete backend must find the openmpi model *)
+  let div_spec = "mpileaks ^mpi+hwloc ^hwloc@1.9" in
+  let div_ast = parse div_spec in
+  let dg, _ = run Backends.Greedy div_ast in
+  let dc, _ = run Backends.Clauses div_ast in
+  (match (dg.I.oc_result, dc.I.oc_result) with
+  | Error _, Ok c when Concrete.satisfies c div_ast -> ()
+  | Error _, Ok _ -> failwith (div_spec ^ ": clause model violates the query")
+  | Ok _, _ -> failwith (div_spec ^ ": greedy unexpectedly solved it")
+  | _, Error _ -> failwith (div_spec ^ ": clause backend failed to solve"));
+  (* a true conflict: both backends UNSAT, clauses with a rendered core *)
+  let unsat_spec = "gerris ^mpich@1.4" in
+  let unsat_ast = parse unsat_spec in
+  let ug, _ = run Backends.Greedy unsat_ast in
+  let uc, _ = run Backends.Clauses unsat_ast in
+  (match (ug.I.oc_result, uc.I.oc_result) with
+  | Error _, Error _ when uc.I.oc_core <> [] -> ()
+  | Error _, Error _ -> failwith (unsat_spec ^ ": empty unsat core")
+  | _ -> failwith (unsat_spec ^ ": expected both backends to report UNSAT"));
+  let doc =
+    Json.Obj
+      [
+        ("format", Json.Int 1);
+        ("workloads", Json.List rows);
+        ( "divergence",
+          Json.Obj
+            [
+              ("spec", Json.String div_spec);
+              ("greedy", Json.String "unsat");
+              ("clauses", Json.String "sat");
+              ("clauses_stats", stats_json dc.I.oc_stats 0.0);
+            ] );
+        ( "unsat",
+          Json.Obj
+            [
+              ("spec", Json.String unsat_spec);
+              ("core_lines", Json.Int (List.length uc.I.oc_core));
+            ] );
+      ]
+  in
+  let oc = open_out path in
+  output_string oc (Json.to_string ~indent:2 doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf
+    "wrote %d workloads to %s\n\
+     greedy == clauses byte-identical on all %d greedy-solvable specs\n\
+     divergence: %s — greedy unsat, clauses sat\n\
+     unsat: %s — both unsat, %d core lines\n"
+    (List.length rows) path (List.length rows) div_spec unsat_spec
+    (List.length uc.I.oc_core)
+
 let default_run () =
   Printf.printf
     "ospack benchmark harness — reproduces every table and figure of the \
@@ -902,4 +1032,6 @@ let () =
   | [| _; "parallel"; path |] -> parallel_mode path
   | [| _; "concretize" |] -> concretize_mode "BENCH_concretize.json"
   | [| _; "concretize"; path |] -> concretize_mode path
+  | [| _; "solve" |] -> solve_mode "BENCH_solve.json"
+  | [| _; "solve"; path |] -> solve_mode path
   | _ -> default_run ()

@@ -8,6 +8,9 @@ module Database = Ospack_store.Database
 module Installer = Ospack_store.Installer
 module Obs = Ospack_obs.Obs
 module Json = Ospack_json.Json
+module Backends = Ospack_concretize.Backends
+module Cerror = Ospack_concretize.Cerror
+module CI = Ospack_concretize.Concretizer_intf
 
 (* a real-filesystem site configuration file, layered over the defaults
    when present (e.g. providers.mpi, compiler_order, externals entries) *)
@@ -74,6 +77,19 @@ let ccache_arg =
 let report_error e =
   Format.eprintf "==> Error: %s@." e;
   1
+
+let backend_arg =
+  Arg.(
+    value
+    & opt
+        (enum [ ("greedy", Backends.Greedy); ("clauses", Backends.Clauses) ])
+        Backends.Greedy
+    & info [ "concretizer" ] ~docv:"BACKEND"
+        ~doc:
+          "Concretizer backend: $(b,greedy) (the paper's fixed point, the \
+           default) or $(b,clauses) (the complete clause solver — agrees \
+           with greedy whenever greedy succeeds, solves specs greedy \
+           cannot, and explains true conflicts with an unsat core).")
 
 let spec_arg =
   Arg.(
@@ -156,12 +172,13 @@ let install_cmd =
              skip both the installed-spec reuse (§3.2.3) and the \
              concretization cache.")
   in
-  let run backtrack jobs index_out trace timings fresh parts =
+  let run backtrack jobs index_out trace timings fresh backend parts =
     let recording = trace <> None || timings in
     let obs = if recording then Obs.create () else Obs.disabled in
     let ctx =
-      if recording then
-        Ospack.Context.create ~cache_root:"/ospack/buildcache" ~obs ()
+      if recording || backend <> Backends.Greedy then
+        Ospack.Context.create ~cache_root:"/ospack/buildcache" ~obs ~backend
+          ()
       else Lazy.force ctx
     in
     let write_index path =
@@ -197,7 +214,7 @@ let install_cmd =
     (Cmd.info "install" ~doc:"Concretize and install a spec.")
     Term.(
       const run $ backtrack $ jobs $ index_out $ trace $ timings $ fresh
-      $ spec_arg)
+      $ backend_arg $ spec_arg)
 
 let spec_cmd =
   let explain =
@@ -225,13 +242,13 @@ let spec_cmd =
              meaningful inside a session with installs (e.g. spack \
              script); a fresh process has an empty store.")
   in
-  let run explain fresh reuse ccache parts =
+  let run explain fresh reuse ccache backend parts =
     let ctx =
-      match ccache with
-      | None -> Lazy.force ctx
-      | Some _ ->
+      match (ccache, backend) with
+      | None, Backends.Greedy -> Lazy.force ctx
+      | _ ->
           Ospack.Context.create ~cache_root:"/ospack/buildcache"
-            ?ccache_json:(read_ccache_file ccache) ()
+            ?ccache_json:(read_ccache_file ccache) ~backend ()
     in
     let code =
       if explain then (
@@ -253,7 +270,47 @@ let spec_cmd =
   in
   Cmd.v
     (Cmd.info "spec" ~doc:"Show the concretized spec without installing.")
-    Term.(const run $ explain $ fresh $ reuse $ ccache_arg $ spec_arg)
+    Term.(
+      const run $ explain $ fresh $ reuse $ ccache_arg $ backend_arg
+      $ spec_arg)
+
+(* `spack solve` — run the selected backend through its full interface:
+   the concrete tree (or the conflict explanation) plus solver statistics.
+   Output is deterministic, so repeated runs compare byte-identical. *)
+let solve_cmd =
+  let run backend parts =
+    let ctx =
+      Ospack.Context.create ~cache_root:"/ospack/buildcache" ~backend ()
+    in
+    match Ospack.solve ctx (join_spec parts) with
+    | Error e -> report_error e
+    | Ok (name, outcome) -> (
+        let stats_line = CI.stats_to_string outcome.CI.oc_stats in
+        match outcome.CI.oc_result with
+        | Ok c ->
+            Format.printf "==> %s backend solved %s@." name (join_spec parts);
+            print_string (Concrete.tree_string c);
+            Format.printf "==> solver stats: %s@." stats_line;
+            0
+        | Error e ->
+            Format.printf "==> %s backend: unsatisfiable %s@." name
+              (join_spec parts);
+            Format.printf "==> Error: %s@." (Cerror.to_string e);
+            (match Backends.explanation backend outcome with
+            | Some expl ->
+                Format.printf "%s@." (Cerror.explain_to_string expl)
+            | None -> ());
+            Format.printf "==> solver stats: %s@." stats_line;
+            1)
+  in
+  Cmd.v
+    (Cmd.info "solve"
+       ~doc:
+         "Concretize with the selected backend and report its decisions, \
+          propagations, and conflicts; on unsatisfiable input, explain \
+          why with an unsat core (clauses) or the blocked decision path \
+          (greedy).")
+    Term.(const run $ backend_arg $ spec_arg)
 
 let graph_cmd =
   let dot =
@@ -690,8 +747,9 @@ let main =
     (Cmd.info "spack" ~version:"ospack-1.0"
        ~doc:"OCaml reproduction of the Spack package manager (SC'15).")
     [
-      install_cmd; spec_cmd; graph_cmd; providers_cmd; info_cmd; list_cmd;
-      compilers_cmd; demo_cmd; stats_cmd; trace_validate_cmd; script_cmd;
+      install_cmd; spec_cmd; solve_cmd; graph_cmd; providers_cmd; info_cmd;
+      list_cmd; compilers_cmd; demo_cmd; stats_cmd; trace_validate_cmd;
+      script_cmd;
     ]
 
 let () = exit (Cmd.eval' main)

@@ -66,6 +66,32 @@ fi
 # the whole 21-workload suite
 ./_build/default/bench/main.exe concretize BENCH_concretize.json
 
+echo "== solve smoke: clause backend solves what greedy cannot, deterministically; regenerate BENCH_solve.json"
+# the §4.5 divergence spec: greedy must dead-end with a blocked decision
+# path, the clause backend must solve it (through openmpi) with
+# byte-identical output across runs; a true conflict must produce an
+# unsat core on the clause backend
+sv_tmp=_build/solve-smoke
+mkdir -p "$sv_tmp"
+div_spec="mpileaks ^mpi+hwloc ^hwloc@1.9"
+if ./_build/default/bin/spack.exe solve $div_spec > "$sv_tmp/greedy.out" 2>&1; then
+    echo "error: greedy unexpectedly solved the divergence spec" >&2
+    exit 1
+fi
+grep -q 'blocked decision path (greedy backend):' "$sv_tmp/greedy.out"
+./_build/default/bin/spack.exe solve --concretizer clauses $div_spec > "$sv_tmp/clauses1.out"
+./_build/default/bin/spack.exe solve --concretizer clauses $div_spec > "$sv_tmp/clauses2.out"
+cmp "$sv_tmp/clauses1.out" "$sv_tmp/clauses2.out"
+grep -q 'openmpi' "$sv_tmp/clauses1.out"
+if ./_build/default/bin/spack.exe solve --concretizer clauses "gerris ^mpich@1.4" > "$sv_tmp/unsat.out" 2>&1; then
+    echo "error: clause backend solved an unsatisfiable spec" >&2
+    exit 1
+fi
+grep -q 'unsat core (clauses backend):' "$sv_tmp/unsat.out"
+# the bench asserts byte-identical backend agreement over the whole
+# 21-workload suite plus the divergence/unsat contract
+./_build/default/bench/main.exe solve BENCH_solve.json
+
 echo "== checking for stray _build files in git"
 # nothing under _build/ may be tracked, and none may appear in git status
 # (deletions are fine — that is _build being purged, not committed)

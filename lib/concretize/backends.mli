@@ -1,0 +1,42 @@
+(** Concretizer backend selection and the clause backend's CEGAR loop.
+
+    Two backends implement {!Concretizer_intf.S}:
+
+    - {!Greedy_backend} — the paper's greedy fixed point
+      ({!Concretizer.concretize}); on failure its decision trace is
+      reported as a pseudo-core (the blocked decision path).
+    - {!Clause_backend} — the complete solver: counterexample-guided
+      abstraction refinement over the {!Clauses} encoding. Round 0 is a
+      pure greedy run (so whenever greedy succeeds both backends return
+      byte-identical results — greedy success is preference-optimal by
+      construction). On greedy failure the problem is encoded and solved
+      with {!Solver}; each model is validated by replaying it through
+      the greedy oracle with forced decisions, oracle rejections become
+      blocking clauses, and encoding-UNSAT yields a minimized,
+      human-readable unsat core. The returned typed error is always the
+      first greedy run's (the encoding is a relaxation, so
+      encoding-UNSAT implies greedy-UNSAT). *)
+
+type t = Concretizer_intf.backend = Greedy | Clauses
+
+val to_string : t -> string
+val of_string : string -> t option
+val all : t list
+
+module Greedy_backend : Concretizer_intf.S
+module Clause_backend : Concretizer_intf.S
+
+val solve :
+  t ->
+  Concretizer_intf.ctx ->
+  Ospack_spec.Ast.t ->
+  (Ospack_spec.Concrete.t, Cerror.t) result
+
+val solve_full :
+  t -> Concretizer_intf.ctx -> Ospack_spec.Ast.t -> Concretizer_intf.outcome
+
+val explanation :
+  t -> Concretizer_intf.outcome -> Cerror.explanation option
+(** The rendered conflict explanation of a failed outcome ([None] on
+    success): the unsat core or blocked decision path with the typed
+    error. *)

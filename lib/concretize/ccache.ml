@@ -28,9 +28,11 @@ type t = {
   cc_obs : Obs.t;
 }
 
-let fingerprint ~repo ~compilers ~config =
+let fingerprint ?(backend = "greedy") ~repo ~compilers ~config () =
   let ctx = Sha256.init () in
-  Sha256.feed ctx ("algorithm " ^ algorithm_version ^ "\n");
+  (* the backend is part of the algorithm tag: greedy and clause-solver
+     entries must never cross-contaminate *)
+  Sha256.feed ctx ("algorithm " ^ algorithm_version ^ "+" ^ backend ^ "\n");
   Sha256.feed ctx ("repo " ^ Repository.name repo ^ "\n");
   List.iter
     (fun pkg -> Sha256.feed ctx (Package.identity_string pkg))

@@ -31,12 +31,17 @@ val algorithm_version : string
     fingerprint so an upgraded binary never trusts an old cache. *)
 
 val fingerprint :
+  ?backend:string ->
   repo:Ospack_package.Repository.t ->
   compilers:Ospack_config.Compilers.t ->
   config:Ospack_config.Config.t ->
+  unit ->
   string
 (** The context fingerprint (64 hex chars). Policy is a pure function of
-    the configuration, so covering the config covers the policy. *)
+    the configuration, so covering the config covers the policy.
+    [backend] (default ["greedy"]) extends the algorithm tag with the
+    selected concretizer backend, so entries produced by one backend are
+    never served to another. *)
 
 val create : ?obs:Ospack_obs.Obs.t -> fingerprint:string -> unit -> t
 (** An empty in-memory cache bound to a context fingerprint. *)

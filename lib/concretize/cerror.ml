@@ -4,7 +4,11 @@ type t =
   | Unknown_variant of { package : string; variant : string }
   | No_provider of { virtual_ : string; constraint_ : string }
   | No_compiler of { package : string; requested : string; arch : string }
-  | No_version of { package : string; constraint_ : string }
+  | No_version of {
+      package : string;
+      constraint_ : string;
+      nearest : (string * string) list;
+    }
   | Conflict_declared of { package : string; spec : string; msg : string }
   | Unused_constraint of { package : string; root : string }
   | Cycle of string list
@@ -22,9 +26,18 @@ let to_string = function
   | No_compiler { package; requested; arch } ->
       Printf.sprintf "no compiler matching %s available for %s on %s"
         requested package arch
-  | No_version { package; constraint_ } ->
-      Printf.sprintf "no known version of %s satisfies @%s" package
-        constraint_
+  | No_version { package; constraint_; nearest } ->
+      let head =
+        Printf.sprintf "no known version of %s satisfies @%s" package
+          constraint_
+      in
+      if nearest = [] then head
+      else
+        head ^ "\n    candidate versions:"
+        ^ String.concat ""
+            (List.map
+               (fun (v, why) -> Printf.sprintf "\n      %s: %s" v why)
+               nearest)
   | Conflict_declared { package; spec; msg } ->
       Printf.sprintf "package %s conflicts with %s%s" package spec
         (if msg = "" then "" else ": " ^ msg)
@@ -38,3 +51,15 @@ let to_string = function
         iterations
 
 let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+type explanation = { ex_backend : string; ex_error : t; ex_chain : string list }
+
+let explain_heading ~backend =
+  match backend with
+  | "greedy" -> "blocked decision path (greedy backend):"
+  | b -> Printf.sprintf "unsat core (%s backend):" b
+
+let explain_to_string e =
+  let heading = explain_heading ~backend:e.ex_backend in
+  let lines = List.map (fun l -> "  - " ^ l) e.ex_chain in
+  String.concat "\n" (heading :: lines)

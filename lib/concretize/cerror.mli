@@ -15,7 +15,12 @@ type t =
   | No_provider of { virtual_ : string; constraint_ : string }
       (** no provider's provided versions intersect the requirement *)
   | No_compiler of { package : string; requested : string; arch : string }
-  | No_version of { package : string; constraint_ : string }
+  | No_version of {
+      package : string;
+      constraint_ : string;
+      nearest : (string * string) list;
+          (** nearest-miss candidates: (version, why it was excluded) *)
+    }
   | Conflict_declared of { package : string; spec : string; msg : string }
       (** a [conflicts] directive matched the concretized node *)
   | Unused_constraint of { package : string; root : string }
@@ -28,3 +33,14 @@ exception Error of t
 
 val to_string : t -> string
 val pp : Format.formatter -> t -> unit
+
+(** A rendered conflict explanation: for the clause backend an unsat core,
+    for the greedy backend the blocked decision path (pseudo-core). *)
+type explanation = { ex_backend : string; ex_error : t; ex_chain : string list }
+
+val explain_heading : backend:string -> string
+(** ["blocked decision path (greedy backend):"] or
+    ["unsat core (<backend> backend):"]. *)
+
+val explain_to_string : explanation -> string
+(** The heading followed by one ["  - "]-indented line per chain element. *)

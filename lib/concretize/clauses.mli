@@ -1,0 +1,52 @@
+(** Clause encoding of a concretization problem for the {!Solver} backend.
+
+    The literal scheme has one boolean variable per
+    - package presence — [P(pkg)]: the package appears in the DAG;
+    - package version — [V(pkg, v)]: the package is at version [v];
+    - provider choice — [Prov(virt, pkg)]: [pkg] provides virtual [virt].
+
+    The encoding is a sound {e relaxation} of the greedy semantics: every
+    DAG the greedy fixed point could produce (under any decision
+    overrides) is a model, so encoding-UNSAT implies greedy-UNSAT and the
+    extracted core is a true explanation. Constraints the clause language
+    cannot express exactly (compiler/arch-conditional deps, variants that
+    some spec might pin) are dropped rather than approximated, and models
+    are validated by replaying them through the greedy oracle
+    ({!Concretizer.run_trace} with forced decisions) — see {!Backends}. *)
+
+type t
+
+val encode : Concretizer_intf.ctx -> Ospack_spec.Ast.t -> t
+(** Encode the abstract spec against the context's package universe.
+    The emitted clause order puts user constraints first and structural
+    axioms last, so rendered cores lead with what the user asked for. *)
+
+val nvars : t -> int
+val clause_list : t -> (int list * int) list
+(** (literals, origin id) pairs; origin ids index {!reason}. *)
+
+val order : t -> int list
+(** Static decision order encoding the optimization weights: provider
+    variables first (per virtual, site rank order, positive phase =
+    preferred provider), then version variables (per package, best
+    version first, positive phase = newest/preferred), then presence
+    variables with negative phase (= fewest builds). *)
+
+val reason : t -> int -> string
+(** Human-readable rendering of the constraint behind an origin id. *)
+
+val var_to_string : t -> int -> string
+(** Render a variable: [P(pkg)], [V(pkg@v)], or [Prov(virt=pkg)]. *)
+
+val render_core : t -> int list -> string list
+(** Origin ids → deduplicated reason lines, in emission order (user
+    constraints first). *)
+
+val decisions_of_model : t -> bool array -> (string * string) list
+(** Translate a model into value-based forced decisions for the greedy
+    oracle: [("provider:<virt>", <pkg>)] and [("version:<pkg>", <v>)]. *)
+
+val blocking_lits : t -> bool array -> int list
+(** The model's true provider-choice and version literals — negating
+    these blocks the model {e and all its supersets} (sound because any
+    superset forces the oracle through the same consulted decisions). *)

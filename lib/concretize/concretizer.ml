@@ -15,7 +15,7 @@ module Smap = Ast.Smap
 module Sset = Set.Make (String)
 module Obs = Ospack_obs.Obs
 
-type ctx = {
+type ctx = Concretizer_intf.ctx = {
   repo : Repository.t;
   index : Provider_index.t;
   config : Config.t;
@@ -120,8 +120,22 @@ type run_state = {
       (* usually [ctx.obs]; [concretize_explain] substitutes its own
          enabled sink so the decision log always has somewhere to go *)
   choices : (string * int) list;  (* decision overrides (backtracking) *)
-  decisions : (string, int) Hashtbl.t;  (* stable across iterations *)
+  forced : (string * string) list;
+      (* value-based decision overrides: key -> rendered value. Used by
+         the clause backend to replay a solver model through the greedy
+         oracle; consulted before [choices], matched via [repr]. *)
+  decisions : (string, int * string) Hashtbl.t;
+      (* key -> (index, chosen repr); stable across iterations. The repr
+         is authoritative on re-lookup: the candidate list for a key can
+         be ranked differently on a later call in the same iteration
+         (e.g. a provider already placed in the DAG ranks ahead of the
+         site order), and the same decision must stick to the same
+         {e value}, not the same position. The index is the fallback
+         when the remembered value is no longer a candidate. *)
   mutable trace : decision list;  (* reversed *)
+  vsources : (string, (string * Vlist.t) list) Hashtbl.t;
+      (* per-package version-constraint provenance, for nearest-miss
+         rendering in {!Cerror.No_version} *)
 }
 
 let explain_decision d =
@@ -145,19 +159,37 @@ let explain_decision d =
    candidates" unrepresentable at the call sites (each of which already
    checks for emptiness and raises a typed {!Cerror}), so the result is
    total — no option, no unreachable branch. *)
+let index_where pred l =
+  let rec go i = function
+    | [] -> None
+    | x :: rest -> if pred x then Some i else go (i + 1) rest
+  in
+  go 0 l
+
 let decide rs key ~repr first rest =
   let alternatives = first :: rest in
   let n = List.length alternatives in
   match Hashtbl.find_opt rs.decisions key with
-  | Some i -> List.nth alternatives (min i (n - 1))
+  | Some (i, value) -> (
+      match index_where (fun a -> repr a = value) alternatives with
+      | Some j -> List.nth alternatives j
+      | None -> List.nth alternatives (min i (n - 1)))
   | None ->
-      let i =
-        match List.assoc_opt key rs.choices with
-        | Some i -> min i (n - 1)
-        | None -> 0
+      let forced_index =
+        match List.assoc_opt key rs.forced with
+        | Some value -> index_where (fun a -> repr a = value) alternatives
+        | None -> None
       in
-      Hashtbl.add rs.decisions key i;
+      let i =
+        match forced_index with
+        | Some i -> i
+        | None -> (
+            match List.assoc_opt key rs.choices with
+            | Some i -> min i (n - 1)
+            | None -> 0)
+      in
       let chosen = List.nth alternatives i in
+      Hashtbl.add rs.decisions key (i, repr chosen);
       let d = { d_key = key; d_alternatives = n; d_chosen = repr chosen } in
       rs.trace <- d :: rs.trace;
       (* the policy-decision log is an obs event stream: the explain
@@ -166,6 +198,19 @@ let decide rs key ~repr first rest =
       Obs.count rs.obs "concretize.decisions" 1;
       Obs.annotate rs.obs ~cat:"explain" (explain_decision d);
       chosen
+
+(* Record where a version constraint on [name] came from, so a later
+   {!Cerror.No_version} can explain which source excluded each
+   nearest-miss candidate. Unconstrained sources carry no information
+   and are skipped; re-noting the same (source, constraint) pair across
+   iterations is a no-op. *)
+let note_vsource rs name src vl =
+  if not (Vlist.is_any vl) then
+    let existing =
+      Option.value (Hashtbl.find_opt rs.vsources name) ~default:[]
+    in
+    if not (List.exists (fun (s, v) -> s = src && Vlist.equal v vl) existing)
+    then Hashtbl.replace rs.vsources name (existing @ [ (src, vl) ])
 
 (* Evaluate a when-predicate for [name] against the previous iteration's
    pins (node-local part) and the previous DAG (dependency part). *)
@@ -242,6 +287,11 @@ let run ?(seed = Smap.empty) rs (abstract : Ast.t) =
     intersect_or_fail a b
   in
   let user_cons = ref abstract.Ast.deps in
+  note_vsource rs abstract.Ast.root.Ast.name "the user spec"
+    abstract.Ast.root.Ast.versions;
+  Smap.iter
+    (fun name c -> note_vsource rs name "the user spec" c.Ast.versions)
+    abstract.Ast.deps;
   (* constraints contributed by deep depends_on specs, by package name *)
   let max_iterations = 50 in
   let rec iterate iter prev =
@@ -350,6 +400,9 @@ let run ?(seed = Smap.empty) rs (abstract : Ast.t) =
           | None -> Ast.unconstrained provider
           | Some w -> { w.Ast.root with Ast.name = provider }
         in
+        note_vsource rs provider
+          (Printf.sprintf "provides condition on %s" provider)
+          from_when.Ast.versions;
         let provider_req = intersect_or_fail transferred from_when in
         let name = ensure ~required_by provider_req in
         let info = Hashtbl.find nodes name in
@@ -411,9 +464,17 @@ let run ?(seed = Smap.empty) rs (abstract : Ast.t) =
               | Some pred -> when_holds ~prev ~prev_pins name info.cons pred
             in
             if active then begin
+              note_vsource rs d.Package.d_spec.Ast.root.Ast.name
+                (Printf.sprintf "%s depends on %s" name
+                   (Printer.node_to_string d.Package.d_spec.Ast.root))
+                d.Package.d_spec.Ast.root.Ast.versions;
               (* deep constraints of this depends_on apply DAG-wide *)
               Ast.Smap.iter
                 (fun dep_name c ->
+                  note_vsource rs dep_name
+                    (Printf.sprintf "constraint from %s (depends_on %s)" name
+                       (Printer.node_to_string c))
+                    c.Ast.versions;
                   extra :=
                     Smap.update dep_name
                       (function
@@ -534,11 +595,31 @@ let run ?(seed = Smap.empty) rs (abstract : Ast.t) =
         let version =
           match ranked_versions ctx.config pkg cons.Ast.versions with
           | [] ->
+              let sources =
+                Option.value (Hashtbl.find_opt rs.vsources name) ~default:[]
+              in
+              let nearest =
+                List.filteri (fun i _ -> i < 5) (Package.known_versions pkg)
+                |> List.map (fun v ->
+                       let why =
+                         match
+                           List.find_opt
+                             (fun (_, vl) -> not (Vlist.mem v vl))
+                             sources
+                         with
+                         | Some (src, vl) ->
+                             Printf.sprintf "excluded by @%s (%s)"
+                               (Vlist.to_string vl) src
+                         | None -> "excluded by the combined constraint"
+                       in
+                       (Version.to_string v, why))
+              in
               fail
                 (Cerror.No_version
                    {
                      package = name;
                      constraint_ = Vlist.to_string cons.Ast.versions;
+                     nearest;
                    })
           | [ v ] -> v
           | v :: rest ->
@@ -676,12 +757,25 @@ let run ?(seed = Smap.empty) rs (abstract : Ast.t) =
 (* ------------------------------------------------------------------ *)
 (* Public entry points                                                 *)
 
-let run_once ?obs ?seed (ctx : ctx) choices abstract =
+let run_once ?obs ?seed ?(forced = []) (ctx : ctx) choices abstract =
   let obs = Option.value obs ~default:ctx.obs in
-  let rs = { ctx; obs; choices; decisions = Hashtbl.create 8; trace = [] } in
+  let rs =
+    {
+      ctx;
+      obs;
+      choices;
+      forced;
+      decisions = Hashtbl.create 8;
+      trace = [];
+      vsources = Hashtbl.create 8;
+    }
+  in
   match run ?seed rs abstract with
   | concrete -> (Ok concrete, List.rev rs.trace)
   | exception Cerror.Error e -> (Error e, List.rev rs.trace)
+
+let run_trace ?obs ?(forced = []) (ctx : ctx) choices abstract =
+  run_once ?obs ~forced ctx choices abstract
 
 let concretize ctx abstract = fst (run_once ctx [] abstract)
 

@@ -20,7 +20,7 @@
     run's recorded decision points (virtual-provider and version choices),
     which resolves e.g. the paper's hwloc example (§4.5). *)
 
-type ctx = {
+type ctx = Concretizer_intf.ctx = {
   repo : Ospack_package.Repository.t;
   index : Ospack_package.Provider_index.t;
   config : Ospack_config.Config.t;
@@ -109,3 +109,45 @@ val concretize_backtracking :
 val last_run_count : unit -> int
 (** Number of greedy runs the most recent {!concretize_backtracking} used
     (1 when greedy succeeded outright) — exposed for the ablation bench. *)
+
+(** {2 Backend plumbing}
+
+    The pieces below expose the greedy run's internals to the other
+    concretizer backends ({!Backends}, {!Clauses}): its decision trace,
+    a way to replay it under forced decisions (the clause backend's
+    greedy oracle), and the version-ranking policy shared by both. *)
+
+type decision = {
+  d_key : string;  (** ["provider:mpi"], ["version:mpich"] *)
+  d_alternatives : int;  (** how many candidates the policy ranked *)
+  d_chosen : string;  (** human-readable chosen value *)
+}
+
+val explain_decision : decision -> string
+(** E.g. ["virtual mpi -> mvapich2 (1 of 3 candidates)"]. *)
+
+val run_trace :
+  ?obs:Ospack_obs.Obs.t ->
+  ?forced:(string * string) list ->
+  ctx ->
+  (string * int) list ->
+  Ospack_spec.Ast.t ->
+  (Ospack_spec.Concrete.t, Cerror.t) result * decision list
+(** One greedy run, returning both the result and the decision trace in
+    the order the decisions were taken. The [(string * int) list] is the
+    index-based decision-override list (as used by backtracking);
+    [forced] overrides decisions by {e value} instead — a pair
+    [("provider:mpi", "openmpi")] or [("version:hwloc", "1.9")] forces
+    that choice wherever it appears among the ranked candidates. Forced
+    values not among the candidates are ignored (the greedy default
+    applies). *)
+
+val ranked_versions :
+  Ospack_config.Config.t ->
+  Ospack_package.Package.t ->
+  Ospack_version.Vlist.t ->
+  Ospack_version.Version.t list
+(** The version-preference policy: candidates best-first (site-preferred,
+    then package-preferred, then newest), restricted to the constraint;
+    a concrete point constraint is extrapolated when nothing is known.
+    Shared with the clause backend so both rank versions identically. *)

@@ -1,0 +1,100 @@
+(** The backend-agnostic concretizer interface.
+
+    The paper's concretizer (§3.4) is one specific algorithm — a greedy
+    fixed point where "a decision once taken is never revisited". Spack
+    itself later swapped that algorithm for a complete optimizing solver
+    without changing what a concretizer {e is}: a function from an
+    abstract spec to a concrete spec under a package universe and site
+    policy. This module pins down that contract so the greedy fixed
+    point, its backtracking variant, and the clause-based complete
+    solver ({!Backends}) are interchangeable behind one signature. *)
+
+(** The solving context: everything outside the abstract spec that a
+    concretization depends on. Shared by every backend (and re-exported
+    as {!Concretizer.ctx} for compatibility). *)
+type ctx = {
+  repo : Ospack_package.Repository.t;
+  index : Ospack_package.Provider_index.t;
+  config : Ospack_config.Config.t;
+  compilers : Ospack_config.Compilers.t;
+  obs : Ospack_obs.Obs.t;
+}
+
+(** Which concretizer implementation to use. *)
+type backend =
+  | Greedy  (** the paper's greedy fixed point (+ backtracking variant) *)
+  | Clauses  (** complete clause-based solver with unsat cores *)
+
+let backend_to_string = function Greedy -> "greedy" | Clauses -> "clauses"
+
+let backend_of_string = function
+  | "greedy" -> Some Greedy
+  | "clauses" -> Some Clauses
+  | _ -> None
+
+let all_backends = [ Greedy; Clauses ]
+
+(** Search-effort statistics, in the vocabulary of both algorithm
+    families. A greedy run reports iterations/runs and its policy
+    decisions; the clause solver reports decisions, propagations,
+    conflicts and restarts. Fields a backend does not track are 0. *)
+type stats = {
+  st_decisions : int;  (** choice points taken (greedy or CDCL) *)
+  st_propagations : int;  (** unit propagations (clause backend) *)
+  st_conflicts : int;  (** conflicts analyzed (clause backend) *)
+  st_restarts : int;  (** solver restarts (clause backend) *)
+  st_iterations : int;  (** fixed-point iterations (greedy oracle runs) *)
+  st_runs : int;  (** greedy runs: 1 + backtracks, or CEGAR oracle calls *)
+}
+
+let empty_stats =
+  {
+    st_decisions = 0;
+    st_propagations = 0;
+    st_conflicts = 0;
+    st_restarts = 0;
+    st_iterations = 0;
+    st_runs = 0;
+  }
+
+let add_stats a b =
+  {
+    st_decisions = a.st_decisions + b.st_decisions;
+    st_propagations = a.st_propagations + b.st_propagations;
+    st_conflicts = a.st_conflicts + b.st_conflicts;
+    st_restarts = a.st_restarts + b.st_restarts;
+    st_iterations = a.st_iterations + b.st_iterations;
+    st_runs = a.st_runs + b.st_runs;
+  }
+
+let stats_to_string s =
+  Printf.sprintf
+    "decisions=%d propagations=%d conflicts=%d restarts=%d greedy_runs=%d \
+     iterations=%d"
+    s.st_decisions s.st_propagations s.st_conflicts s.st_restarts s.st_runs
+    s.st_iterations
+
+(** A full solve report: the result, the effort, and — on failure — the
+    human-readable conflict chain (an unsat core for the clause backend,
+    the blocked decision path for the greedy one). *)
+type outcome = {
+  oc_result : (Ospack_spec.Concrete.t, Cerror.t) result;
+  oc_stats : stats;
+  oc_core : string list;
+      (** empty on success; on failure, one line per core/chain element *)
+}
+
+(** What every concretizer backend implements. *)
+module type S = sig
+  val name : string
+
+  val solve :
+    ctx -> Ospack_spec.Ast.t -> (Ospack_spec.Concrete.t, Cerror.t) result
+
+  val solve_full : ctx -> Ospack_spec.Ast.t -> outcome
+  (** Like {!solve}, additionally reporting statistics and, on failure,
+      the conflict explanation. Counters mirror into [ctx.obs]
+      ([solver.decisions], [solver.propagations], [solver.conflicts],
+      [solver.restarts] for the clause backend; the greedy counters keep
+      their [concretize.*] names). *)
+end

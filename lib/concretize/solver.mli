@@ -1,0 +1,41 @@
+(** A small CDCL SAT solver with clause-origin tracking, the engine of the
+    clause-based concretizer backend ({!Clauses}, {!Backends}).
+
+    Variables are [1..nvars]; a literal is [+v] (true) or [-v] (false).
+    Each input clause carries an integer {e origin} id (the encoder's
+    handle on "which constraint produced this clause"); on UNSAT the
+    solver returns the set of origin ids its refutation actually used —
+    an over-approximate unsat core the caller can minimize and render.
+
+    Search is classic two-watched-literal CDCL: unit propagation, 1-UIP
+    conflict analysis with backjumping, geometric restarts, and a static
+    decision order whose literal signs encode the preferred phase — the
+    optimization weights (prefer ranked providers and newest versions
+    positively, extra builds negatively) are expressed entirely through
+    that order, so the first model found is the weight-optimal one. *)
+
+type outcome =
+  | Sat of bool array  (** index [v] holds the value of variable [v] *)
+  | Unsat of int list  (** origin ids of the clauses used in refutation *)
+
+type stats = {
+  s_decisions : int;
+  s_propagations : int;
+  s_conflicts : int;
+  s_restarts : int;
+}
+
+val solve :
+  ?obs:Ospack_obs.Obs.t ->
+  nvars:int ->
+  clauses:(int list * int) list ->
+  order:int list ->
+  unit ->
+  outcome * stats
+(** [solve ~nvars ~clauses ~order ()] — [clauses] are (literals, origin)
+    pairs; tautologies are dropped and duplicate literals removed. [order]
+    is the static decision sequence: at each decision the first literal
+    whose variable is unassigned is asserted with the given sign;
+    variables not in [order] default to false. Counters mirror into [obs]
+    as [solver.decisions] / [solver.propagations] / [solver.conflicts] /
+    [solver.restarts]. *)

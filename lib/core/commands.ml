@@ -3,6 +3,8 @@ module Parser = Ospack_spec.Parser
 module Concrete = Ospack_spec.Concrete
 module Cerror = Ospack_concretize.Cerror
 module Concretizer = Ospack_concretize.Concretizer
+module Backends = Ospack_concretize.Backends
+module Ccache = Ospack_concretize.Ccache
 module Package = Ospack_package.Package
 module Repository = Ospack_package.Repository
 module Provider_index = Ospack_package.Provider_index
@@ -73,27 +75,59 @@ let concretize_cached (ctx : Context.t) ?(reuse = false) ast =
           Option.map (fun r -> r.Database.r_spec) (best_installed ctx q))
     else None
   in
-  let before = Ospack_concretize.Ccache.length ctx.ccache in
+  let before = Ccache.length ctx.ccache in
   let result =
-    Concretizer.concretize_cached ~cache:ctx.ccache ?installed ctx.cctx ast
+    match ctx.backend with
+    | Backends.Greedy ->
+        Concretizer.concretize_cached ~cache:ctx.ccache ?installed ctx.cctx
+          ast
+    | Backends.Clauses -> (
+        (* same three layers as the greedy path: store-aware reuse, then
+           the whole-query memo (fingerprinted per backend), then a full
+           solve stored back on success *)
+        match
+          match installed with None -> None | Some find -> find ast
+        with
+        | Some c -> Ok c
+        | None -> (
+            match Ccache.lookup ctx.ccache ast with
+            | Some c -> Ok c
+            | None ->
+                let r = Backends.solve Backends.Clauses ctx.cctx ast in
+                (match r with
+                | Ok c -> Ccache.store ctx.ccache ast c
+                | Error _ -> ());
+                r))
   in
   (match result with
-  | Ok _ when Ospack_concretize.Ccache.length ctx.ccache <> before ->
-      Context.save_ccache ctx
+  | Ok _ when Ccache.length ctx.ccache <> before -> Context.save_ccache ctx
   | _ -> ());
   result
+
+(* On failure, re-solve uncached through the backend's full interface
+   and append the rendered conflict chain: the clause backend's unsat
+   core, or the greedy backend's blocked decision path (pseudo-core). *)
+let render_unsat (ctx : Context.t) ast e =
+  let outcome = Backends.solve_full ctx.backend ctx.cctx ast in
+  match Backends.explanation ctx.backend outcome with
+  | None -> Error (render_cerror ctx e)
+  | Some expl ->
+      Error
+        (render_cerror ctx expl.Cerror.ex_error
+        ^ "\n"
+        ^ Cerror.explain_to_string expl)
 
 let spec ?(fresh = false) ?(reuse = false) (ctx : Context.t) text =
   match Parser.parse text with
   | Error e -> Error e
   | Ok ast -> (
       let result =
-        if fresh then Concretizer.concretize ctx.cctx ast
+        if fresh then Backends.solve ctx.backend ctx.cctx ast
         else concretize_cached ctx ~reuse ast
       in
       match result with
       | Ok c -> Ok c
-      | Error e -> Error (render_cerror ctx e))
+      | Error e -> render_unsat ctx ast e)
 
 let spec_explain (ctx : Context.t) text =
   match Parser.parse text with
@@ -105,15 +139,26 @@ let spec_explain (ctx : Context.t) text =
       | Ok result -> Ok result
       | Error e -> Error (render_cerror ctx e))
 
+(* [spack solve]: run the selected backend's full interface — result,
+   search statistics, and (on failure) the conflict explanation. Never
+   cached: the point is to observe the solve itself. *)
+let solve (ctx : Context.t) text =
+  match Parser.parse text with
+  | Error e -> Error e
+  | Ok ast ->
+      Ok
+        ( Backends.to_string ctx.backend,
+          Backends.solve_full ctx.backend ctx.cctx ast )
+
 let concretize_ast ?(backtrack = false) ?(fresh = false) (ctx : Context.t)
     ast =
-  let greedy =
-    if fresh then Concretizer.concretize ctx.cctx ast
+  let result =
+    if fresh then Backends.solve ctx.backend ctx.cctx ast
     else concretize_cached ctx ast
   in
-  match greedy with
+  match result with
   | Ok c -> Ok c
-  | Error e when backtrack -> (
+  | Error e when backtrack && ctx.backend = Backends.Greedy -> (
       match Concretizer.concretize_backtracking ctx.cctx ast with
       | Ok c -> Ok c
       | Error _ -> Error (render_cerror ctx e))

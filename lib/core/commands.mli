@@ -46,6 +46,17 @@ val spec_explain :
     each virtual resolved to and which version each multi-candidate
     package pinned, with candidate counts ([spack spec --explain]). *)
 
+val solve :
+  Context.t ->
+  string ->
+  (string * Ospack_concretize.Concretizer_intf.outcome, string) result
+(** [spack solve]: run the context's selected concretizer backend and
+    report (backend name, full outcome) — the result plus search
+    statistics (decisions / propagations / conflicts / restarts /
+    greedy runs / iterations) and, on failure, the human-readable
+    conflict chain ({!Ospack_concretize.Concretizer_intf.outcome}).
+    Never consults the concretization cache. *)
+
 val install :
   ?backtrack:bool ->
   ?fresh:bool ->

@@ -4,6 +4,7 @@ module Repository = Ospack_package.Repository
 module Compilers = Ospack_config.Compilers
 module Concretizer = Ospack_concretize.Concretizer
 module Ccache = Ospack_concretize.Ccache
+module Backends = Ospack_concretize.Backends
 module Json = Ospack_json.Json
 module Installer = Ospack_store.Installer
 module Fsmodel = Ospack_buildsim.Fsmodel
@@ -18,6 +19,7 @@ type t = {
   repo : Repository.t;
   compilers : Compilers.t;
   cctx : Concretizer.ctx;
+  backend : Backends.t;
   installer : Installer.t;
   cache : Buildcache.t option;
   ccache : Ccache.t;
@@ -30,7 +32,7 @@ let ccache_file root = root ^ "/.spack-db/ccache.json"
 
 let create ?config ?repo ?compilers ?fs ?scheme
     ?(install_root = "/ospack/opt") ?cache_root ?ccache_json
-    ?(obs = Obs.disabled) () =
+    ?(obs = Obs.disabled) ?(backend = Backends.Greedy) () =
   let config = Option.value config ~default:Universe.default_config in
   let repo =
     match repo with Some r -> r | None -> Universe.repository ()
@@ -52,9 +54,12 @@ let create ?config ?repo ?compilers ?fs ?scheme
   (match ccache_json with
   | None -> ()
   | Some json -> ignore (Vfs.write_file vfs ccache_path json));
-  let fingerprint = Ccache.fingerprint ~repo ~compilers ~config in
+  let fingerprint =
+    Ccache.fingerprint ~backend:(Backends.to_string backend) ~repo ~compilers
+      ~config ()
+  in
   let ccache = Ccache.load ~obs ~fingerprint vfs ~path:ccache_path in
-  { vfs; config; repo; compilers; cctx; installer; cache; ccache;
+  { vfs; config; repo; compilers; cctx; backend; installer; cache; ccache;
     ccache_path; obs; module_root = "/ospack/modules" }
 
 let save_ccache t =
@@ -80,7 +85,8 @@ let with_site_packages t site_pkgs =
      reloading under the new fingerprint discards any persisted entries
      from the old universe (counted as an invalidation) *)
   let fingerprint =
-    Ccache.fingerprint ~repo ~compilers:t.compilers ~config:t.config
+    Ccache.fingerprint ~backend:(Backends.to_string t.backend) ~repo
+      ~compilers:t.compilers ~config:t.config ()
   in
   let ccache =
     Ccache.load ~obs:t.obs ~fingerprint t.vfs ~path:t.ccache_path

@@ -8,6 +8,9 @@ type t = {
   repo : Ospack_package.Repository.t;
   compilers : Ospack_config.Compilers.t;
   cctx : Ospack_concretize.Concretizer.ctx;
+  backend : Ospack_concretize.Backends.t;
+      (** which concretizer backend [spec]/[install]/[solve] route
+          through; part of the concretization-cache fingerprint *)
   installer : Ospack_store.Installer.t;
   cache : Ospack_store.Buildcache.t option;
       (** binary build cache, when enabled via [cache_root] *)
@@ -35,6 +38,7 @@ val create :
   ?cache_root:string ->
   ?ccache_json:string ->
   ?obs:Ospack_obs.Obs.t ->
+  ?backend:Ospack_concretize.Backends.t ->
   unit ->
   t
 (** Defaults: the built-in 245-package universe, the LLNL-flavored site

@@ -161,6 +161,8 @@ let mvapich2 =
       version "2.0";
       provides "mpi@:2.2" ~when_:"@1.9";
       provides "mpi@:3.0" ~when_:"@2.0";
+      variant "hwloc" ~descr:"Use hwloc for process binding";
+      depends_on "hwloc@1.8" ~when_:"+hwloc";
       build_model (autotools ~sources:300 ~checks:650 ~csec:0.24);
     ]
 
@@ -178,6 +180,8 @@ let openmpi =
       version "1.8.2";
       provides "mpi@:2.2";
       variant "psm" ~descr:"Build with PSM support";
+      variant "hwloc" ~descr:"Use hwloc for process binding";
+      depends_on "hwloc@1.9" ~when_:"+hwloc";
       build_model (autotools ~sources:340 ~checks:700 ~csec:0.23);
     ]
 

@@ -30,9 +30,9 @@ let base_packages () =
 
 let compilers = Compilers.create [ Compilers.toolchain "gcc" "4.9.2" ]
 
-let fp ?(config = Config.empty) ?(comps = compilers) packages =
-  Ccache.fingerprint ~repo:(Repository.create packages) ~compilers:comps
-    ~config
+let fp ?(config = Config.empty) ?(comps = compilers) ?backend packages =
+  Ccache.fingerprint ?backend ~repo:(Repository.create packages)
+    ~compilers:comps ~config ()
 
 let ctx_of ?(config = Config.empty) ?obs packages =
   Concretizer.make_ctx ~config ?obs ~compilers
@@ -104,6 +104,19 @@ let fingerprint_config_mutation () =
   let prefer = Config.of_assoc [ ("prefer_compiler", "intel") ] in
   Alcotest.(check bool) "policy config changes fingerprint" true
     (fp ~config:prefer (base_packages ()) <> base)
+
+let fingerprint_backend_tag () =
+  (* the selected concretizer backend extends the algorithm tag: entries
+     produced by one backend are never served to another, so switching
+     backends is a guaranteed cache miss *)
+  let packages = base_packages () in
+  let greedy_default = fp packages in
+  let greedy_explicit = fp ~backend:"greedy" packages in
+  let clauses = fp ~backend:"clauses" packages in
+  Alcotest.(check string) "default backend is greedy" greedy_default
+    greedy_explicit;
+  Alcotest.(check bool) "clauses backend changes fingerprint" true
+    (clauses <> greedy_default)
 
 (* --- lookup / store / seeds --- *)
 
@@ -300,6 +313,7 @@ let () =
             fingerprint_compiler_mutation;
           Alcotest.test_case "config mutation" `Quick
             fingerprint_config_mutation;
+          Alcotest.test_case "backend tag" `Quick fingerprint_backend_tag;
         ] );
       ( "memo",
         [
