@@ -507,13 +507,13 @@ let micro () =
 
 (* ------------------------------------------------------------------ *)
 
-(* `main.exe obs [PATH]` — the per-phase observability mode: rebuild the
-   Fig. 10/11 workloads under an enabled recording sink and write where
+(* `main.exe obs` — the per-phase observability mode: rebuild the
+   Fig. 10/11 workloads under an enabled recording sink and report where
    the virtual time went (phases, counters) per package x filesystem x
    wrappers cell. Each cell also re-runs uninstrumented and asserts the
    simulated build time is bit-identical — instrumentation must not
    perturb the cost model. *)
-let obs_mode path =
+let obs_doc () =
   let module Obs = Ospack_obs.Obs in
   let module Json = Ospack_json.Json in
   let repo = Universe.repository () in
@@ -554,7 +554,7 @@ let obs_mode path =
         ("package", Json.String name);
         ("fs", Json.String fs_name);
         ("wrappers", Json.Bool use_wrappers);
-        ("build_seconds", Json.Float seconds);
+        ("build_seconds", Json.fixed seconds);
         ( "phases",
           Json.List
             (List.map
@@ -563,8 +563,8 @@ let obs_mode path =
                    [
                      ("name", Json.String r.Obs.ph_name);
                      ("count", Json.Int r.Obs.ph_count);
-                     ("total_seconds", Json.Float r.Obs.ph_total);
-                     ("self_seconds", Json.Float r.Obs.ph_self);
+                     ("total_seconds", Json.fixed r.Obs.ph_total);
+                     ("self_seconds", Json.fixed r.Obs.ph_self);
                    ])
                (Obs.phase_rows obs)) );
         ( "counters",
@@ -582,27 +582,23 @@ let obs_mode path =
         ])
       fig10_packages
   in
-  let doc =
-    Json.Obj [ ("format", Json.Int 1); ("workloads", Json.List workloads) ]
-  in
-  let oc = open_out path in
-  output_string oc (Json.to_string ~indent:2 doc);
-  output_char oc '\n';
-  close_out oc;
-  Printf.printf "wrote %d workloads (%d packages x 3 configurations) to %s\n"
+  Printf.printf "generated %d workloads (%d packages x 3 configurations)\n"
     (List.length workloads)
-    (List.length fig10_packages)
-    path
+    (List.length fig10_packages);
+  Json.Obj [ ("format", Json.Int 1); ("workloads", Json.List workloads) ]
 
-(* `main.exe parallel [PATH]` — the parallel-install benchmark: replay
-   the Fig. 10/11 workloads (each package's DAG, plus the whole seven-
+(* `main.exe parallel` — the parallel-install benchmark: replay the
+   Fig. 10/11 workloads (each package's DAG, plus the whole seven-
    package suite as one batch) through the deterministic virtual-time
    worker pool at -j 1/2/4/8 on both filesystem models. For every
    workload the store must be byte-identical across -j levels — the
-   scheduler's cornerstone invariant — and the suite must show real
-   makespan speedup. *)
-let parallel_mode path =
+   scheduler's cornerstone invariant — the suite must show real makespan
+   speedup, and the critical-path analysis must hold its own invariants:
+   CP identical at every -j level, efficiency never above 1, and the
+   makespan equal to the CP bound once jobs >= nodes. *)
+let parallel_doc () =
   let module Json = Ospack_json.Json in
+  let module Profile = Ospack_obs.Profile in
   let repo = Universe.repository () in
   let ctx = universe_ctx () in
   let concrete name =
@@ -630,6 +626,38 @@ let parallel_mode path =
           (r, index)
     in
     let results = List.map run jobs_list in
+    (* critical-path analysis of each recorded schedule *)
+    let profs =
+      List.map
+        (fun (r, _) ->
+          match Profile.analyze (Installer.profile_input ~specs r) with
+          | Ok p -> p
+          | Error e -> failwith (Printf.sprintf "%s: profile: %s" name e))
+        results
+    in
+    let p1 = List.hd profs in
+    List.iter2
+      (fun j p ->
+        if abs_float (p.Profile.p_cp_seconds -. p1.Profile.p_cp_seconds)
+           > 1e-9
+        then
+          failwith
+            (Printf.sprintf "%s: critical path drifted at -j%d" name j);
+        if p.Profile.p_efficiency > 1.0 +. 1e-9 then
+          failwith
+            (Printf.sprintf "%s: -j%d makespan beat the CP lower bound" name
+               j);
+        if
+          j >= List.length p.Profile.p_rows
+          && abs_float (p.Profile.p_makespan -. p.Profile.p_cp_seconds)
+             > 1e-9
+        then
+          failwith
+            (Printf.sprintf
+               "%s: -j%d (>= %d nodes) makespan must equal the critical path"
+               name j
+               (List.length p.Profile.p_rows)))
+      jobs_list profs;
     let r1, index1 = List.hd results in
     if abs_float (r1.Installer.pr_makespan -. r1.Installer.pr_serial_seconds)
        > 1e-9
@@ -663,18 +691,21 @@ let parallel_mode path =
           ("workload", Json.String name);
           ("fs", Json.String fs_name);
           ("nodes", Json.Int (List.length r1.Installer.pr_outcomes));
-          ("serial_seconds", Json.Float r1.Installer.pr_serial_seconds);
+          ("serial_seconds", Json.fixed r1.Installer.pr_serial_seconds);
+          ("cp_seconds", Json.fixed p1.Profile.p_cp_seconds);
           ( "jobs",
             Json.List
               (List.map2
-                 (fun j (r, _) ->
+                 (fun j ((r, _), p) ->
                    Json.Obj
                      [
                        ("j", Json.Int j);
-                       ("makespan_seconds", Json.Float r.Installer.pr_makespan);
-                       ("speedup", Json.Float (Installer.parallel_speedup r));
+                       ("makespan_seconds", Json.fixed r.Installer.pr_makespan);
+                       ("speedup", Json.fixed (Installer.parallel_speedup r));
+                       ("efficiency", Json.fixed p.Profile.p_efficiency);
                      ])
-                 jobs_list results) );
+                 jobs_list
+                 (List.combine results profs)) );
           ("store_identical_across_jobs", Json.Bool true);
         ]
     in
@@ -702,28 +733,21 @@ let parallel_mode path =
     failwith
       (Printf.sprintf
          "no workload reached 1.5x speedup at -j4 (best %.2fx)" best);
-  let doc =
-    Json.Obj
-      [
-        ("format", Json.Int 1);
-        ("jobs_levels", Json.List (List.map (fun j -> Json.Int j) jobs_list));
-        ("workloads", Json.List (List.map fst cells));
-      ]
-  in
-  let oc = open_out path in
-  output_string oc (Json.to_string ~indent:2 doc);
-  output_char oc '\n';
-  close_out oc;
   Printf.printf
-    "wrote %d workloads ((%d packages + suite) x 2 fs models x -j %s) to %s\n"
+    "generated %d workloads ((%d packages + suite) x 2 fs models x -j %s)\n"
     (List.length cells)
     (List.length fig10_packages)
-    (String.concat "/" (List.map string_of_int jobs_list))
-    path;
+    (String.concat "/" (List.map string_of_int jobs_list));
   Printf.printf "best -j4 speedup: %.2fx (store identical across all levels)\n"
-    best
+    best;
+  Json.Obj
+    [
+      ("format", Json.Int 1);
+      ("jobs_levels", Json.List (List.map (fun j -> Json.Int j) jobs_list));
+      ("workloads", Json.List (List.map fst cells));
+    ]
 
-(* `main.exe concretize [PATH]` — the concretization-cache benchmark over
+(* `main.exe concretize` — the concretization-cache benchmark over
    the 21-workload suite (the seven Fig. 10/11 packages x three abstract
    spec forms: plain, compiler-constrained, version-pinned). Four
    scenarios per workload:
@@ -737,7 +761,7 @@ let parallel_mode path =
    A fifth pass installs the seven packages and replays the suite with
    --reuse, asserting every reused spec satisfies its query. Fails unless
    warm uses at least 5x fewer concretizer iterations than cold. *)
-let concretize_mode path =
+let concretize_doc () =
   let module Obs = Ospack_obs.Obs in
   let module Json = Ospack_json.Json in
   let module Ccache = Ospack_concretize.Ccache in
@@ -866,18 +890,15 @@ let concretize_mode path =
             ] );
       ]
   in
-  let oc = open_out path in
-  output_string oc (Json.to_string ~indent:2 doc);
-  output_char oc '\n';
-  close_out oc;
   Printf.printf
-    "wrote %d workloads to %s\n\
+    "generated %d workloads\n\
      cold %d iterations, warm %d, suite-seeded %d; reuse hits %d/%d\n\
      cold == warm == fresh == seeded byte-identical for every workload\n"
-    (List.length rows) path cold_total warm_total seeded_total reuse_hits
-    (List.length rows)
+    (List.length rows) cold_total warm_total seeded_total reuse_hits
+    (List.length rows);
+  doc
 
-(* `main.exe solve [PATH]` — the differential backend benchmark: both
+(* `main.exe solve` — the differential backend benchmark: both
    concretizer backends over the 21-workload suite (the seven Fig. 10/11
    packages x three abstract forms), plus the §4.5 hwloc divergence spec
    and a truly unsatisfiable one. Asserts the divergence contract:
@@ -886,7 +907,7 @@ let concretize_mode path =
    - the divergence spec: greedy UNSAT, clauses SAT (and the model
      satisfies the query);
    - the unsat spec: both UNSAT, with a non-empty clause-backend core. *)
-let solve_mode path =
+let solve_doc () =
   let module Obs = Ospack_obs.Obs in
   let module Json = Ospack_json.Json in
   let module I = Ospack_concretize.Concretizer_intf in
@@ -931,7 +952,7 @@ let solve_mode path =
         ("restarts", Json.Int s.I.st_restarts);
         ("greedy_runs", Json.Int s.I.st_runs);
         ("iterations", Json.Int s.I.st_iterations);
-        ("wall_ms", Json.Float (1000.0 *. secs));
+        ("wall_ms", Json.fixed ~decimals:3 (1000.0 *. secs));
       ]
   in
   let rows =
@@ -995,17 +1016,14 @@ let solve_mode path =
             ] );
       ]
   in
-  let oc = open_out path in
-  output_string oc (Json.to_string ~indent:2 doc);
-  output_char oc '\n';
-  close_out oc;
   Printf.printf
-    "wrote %d workloads to %s\n\
+    "generated %d workloads\n\
      greedy == clauses byte-identical on all %d greedy-solvable specs\n\
      divergence: %s — greedy unsat, clauses sat\n\
      unsat: %s — both unsat, %d core lines\n"
-    (List.length rows) path (List.length rows) div_spec unsat_spec
-    (List.length uc.I.oc_core)
+    (List.length rows) (List.length rows) div_spec unsat_spec
+    (List.length uc.I.oc_core);
+  doc
 
 let default_run () =
   Printf.printf
@@ -1024,14 +1042,131 @@ let default_run () =
   micro ();
   print_newline ()
 
+(* ------------------------------------------------------------------ *)
+
+(* The baseline-gated modes: each generates its BENCH document in memory
+   (running all of its internal assertions along the way), then either
+   writes it or diffs it against the committed baseline under the
+   per-metric tolerance policy (Ospack_obs.Baseline). Re-baselining is
+   explicit — --update-baselines (or an explicit scratch PATH) writes,
+   --check never does. --inject-cost-pct scales every virtual-time
+   metric by +P% before the diff; because the scheduler is deterministic,
+   a uniform +P% per-node cost scales the whole schedule linearly without
+   reordering it, so this is exactly the document a +P% cost regression
+   would produce — the gate's self-test. *)
+
+let bench_modes =
+  [
+    ("obs", obs_doc, "BENCH_obs.json");
+    ("parallel", parallel_doc, "BENCH_parallel.json");
+    ("concretize", concretize_doc, "BENCH_concretize.json");
+    ("solve", solve_doc, "BENCH_solve.json");
+  ]
+
+(* the virtual-time leaves a per-node cost increase scales; counts,
+   speedups, and efficiency ratios are invariant under uniform scaling *)
+let time_fields =
+  [
+    "build_seconds"; "total_seconds"; "self_seconds"; "serial_seconds";
+    "makespan_seconds"; "cp_seconds";
+  ]
+
+let rec inject_costs pct json =
+  let module Json = Ospack_json.Json in
+  match json with
+  | Json.Obj fields ->
+      Json.Obj
+        (List.map
+           (fun (k, v) ->
+             match v with
+             | Json.Float f when List.mem k time_fields ->
+                 (k, Json.fixed (f *. (1.0 +. (pct /. 100.0))))
+             | v -> (k, inject_costs pct v))
+           fields)
+  | Json.List items -> Json.List (List.map (inject_costs pct) items)
+  | leaf -> leaf
+
+let usage () =
+  prerr_endline
+    "usage: main.exe [MODE [PATH] [--check | --update-baselines] \
+     [--inject-cost-pct P]]\n\
+     modes: obs | parallel | concretize | solve (no mode: the full \
+     table/figure run)\n\
+     MODE PATH            write the document to an explicit scratch PATH\n\
+     MODE --check         diff the freshly generated document against the \
+     committed baseline; never writes\n\
+     MODE --update-baselines  write the committed baseline (explicit \
+     re-baselining)\n\
+     --inject-cost-pct P  scale every virtual-time metric by +P% first \
+     (gate self-test)";
+  exit 2
+
+let run_mode name doc_fn default_path args =
+  let module Json = Ospack_json.Json in
+  let module Baseline = Ospack_obs.Baseline in
+  let check = ref false and update = ref false in
+  let inject = ref 0.0 and path = ref None in
+  let rec parse = function
+    | [] -> ()
+    | "--check" :: rest ->
+        check := true;
+        parse rest
+    | "--update-baselines" :: rest ->
+        update := true;
+        parse rest
+    | "--inject-cost-pct" :: p :: rest ->
+        (match float_of_string_opt p with
+        | Some f -> inject := f
+        | None -> usage ());
+        parse rest
+    | p :: rest when !path = None && String.length p > 0 && p.[0] <> '-' ->
+        path := Some p;
+        parse rest
+    | _ -> usage ()
+  in
+  parse args;
+  if !check && !update then usage ();
+  let doc = doc_fn () in
+  let doc = if !inject <> 0.0 then inject_costs !inject doc else doc in
+  let target = Option.value !path ~default:default_path in
+  if !check then begin
+    if not (Sys.file_exists target) then begin
+      Printf.eprintf "%s: no baseline at %s (run --update-baselines first)\n"
+        name target;
+      exit 1
+    end;
+    let ic = open_in target in
+    let content = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    match Json.of_string content with
+    | Error e ->
+        Printf.eprintf "%s: unreadable baseline %s: %s\n" name target e;
+        exit 1
+    | Ok baseline -> (
+        let findings = Baseline.compare_docs ~baseline ~current:doc in
+        print_string (Baseline.report findings);
+        match Baseline.regressions findings with
+        | [] -> Printf.printf "%s: within tolerance of %s\n" name target
+        | r ->
+            Printf.eprintf "%s: %d regression(s) against %s\n" name
+              (List.length r) target;
+            exit 1)
+  end
+  else if !update || !path <> None then begin
+    let oc = open_out target in
+    output_string oc (Json.to_string ~indent:2 doc);
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "wrote %s\n" target
+  end
+  else usage ()
+
 let () =
-  match Sys.argv with
-  | [| _; "obs" |] -> obs_mode "BENCH_obs.json"
-  | [| _; "obs"; path |] -> obs_mode path
-  | [| _; "parallel" |] -> parallel_mode "BENCH_parallel.json"
-  | [| _; "parallel"; path |] -> parallel_mode path
-  | [| _; "concretize" |] -> concretize_mode "BENCH_concretize.json"
-  | [| _; "concretize"; path |] -> concretize_mode path
-  | [| _; "solve" |] -> solve_mode "BENCH_solve.json"
-  | [| _; "solve"; path |] -> solve_mode path
-  | _ -> default_run ()
+  match Array.to_list Sys.argv with
+  | [] | [ _ ] -> default_run ()
+  | _ :: mode :: rest -> (
+      match List.find_opt (fun (n, _, _) -> n = mode) bench_modes with
+      | Some (name, doc_fn, default_path) ->
+          run_mode name doc_fn default_path rest
+      | None ->
+          if rest = [] then default_run () else usage ())

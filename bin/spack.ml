@@ -7,6 +7,7 @@ module Concrete = Ospack_spec.Concrete
 module Database = Ospack_store.Database
 module Installer = Ospack_store.Installer
 module Obs = Ospack_obs.Obs
+module Profile = Ospack_obs.Profile
 module Json = Ospack_json.Json
 module Backends = Ospack_concretize.Backends
 module Cerror = Ospack_concretize.Cerror
@@ -120,6 +121,22 @@ let write_trace obs path =
   output_char oc '\n';
   close_out oc
 
+let write_string_file path content =
+  let oc = open_out path in
+  output_string oc content;
+  close_out oc
+
+let events_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "events" ] ~docv:"FILE"
+        ~doc:
+          "Write the session as a deterministic JSONL structured-event \
+           log: one JSON object per line (meta header, then \
+           span_begin/span_end/instant events on the virtual clock, then \
+           counter and histogram summaries). Byte-identical across \
+           identical runs; validated by $(b,spack trace-validate).")
+
 let install_cmd =
   let backtrack =
     Arg.(
@@ -172,8 +189,8 @@ let install_cmd =
              skip both the installed-spec reuse (§3.2.3) and the \
              concretization cache.")
   in
-  let run backtrack jobs index_out trace timings fresh backend parts =
-    let recording = trace <> None || timings in
+  let run backtrack jobs index_out trace events timings fresh backend parts =
+    let recording = trace <> None || events <> None || timings in
     let obs = if recording then Obs.create () else Obs.disabled in
     let ctx =
       if recording || backend <> Backends.Greedy then
@@ -203,6 +220,11 @@ let install_cmd =
         | Some path ->
             write_trace obs path;
             Format.printf "==> trace written to %s@." path);
+        (match events with
+        | None -> ()
+        | Some path ->
+            write_string_file path (Obs.to_jsonl obs);
+            Format.printf "==> events written to %s@." path);
         Option.iter write_index index_out;
         0
     | Error e ->
@@ -213,8 +235,90 @@ let install_cmd =
   Cmd.v
     (Cmd.info "install" ~doc:"Concretize and install a spec.")
     Term.(
-      const run $ backtrack $ jobs $ index_out $ trace $ timings $ fresh
-      $ backend_arg $ spec_arg)
+      const run $ backtrack $ jobs $ index_out $ trace $ events_arg $ timings
+      $ fresh $ backend_arg $ spec_arg)
+
+let profile_cmd =
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Profile the schedule at $(docv) simulated workers (default \
+             1: the serial install order).")
+  in
+  let width =
+    Arg.(
+      value & opt int 64
+      & info [ "width" ] ~docv:"COLS"
+          ~doc:"Timeline width in buckets (default 64).")
+  in
+  let fresh =
+    Arg.(
+      value & flag
+      & info [ "fresh" ]
+          ~doc:
+            "Concretize from scratch, bypassing the concretization cache.")
+  in
+  let run jobs width events fresh backend parts =
+    if jobs < 1 then report_error "profile: jobs must be >= 1"
+    else
+      let obs = Obs.create () in
+      let ctx =
+        Ospack.Context.create ~cache_root:"/ospack/buildcache" ~obs ~backend
+          ()
+      in
+      match Ospack.profile ~fresh ~jobs ctx (join_spec parts) with
+      | Error e -> report_error e
+      | Ok r ->
+          let prof = r.Ospack.Commands.pf_profile in
+          Format.printf "==> concretized:@.%s@."
+            (Concrete.tree_string r.Ospack.Commands.pf_spec);
+          (* the concretizer's side of the profile: greedy iteration
+             counts, or the clause solver's search statistics *)
+          Format.printf
+            "==> concretize profile: iterations=%d decisions=%d \
+             backtracks=%d@."
+            (Obs.counter obs "concretize.iterations")
+            (Obs.counter obs "concretize.decisions")
+            (Obs.counter obs "concretize.backtracks");
+          if
+            List.exists
+              (fun c -> Obs.counter obs c > 0)
+              [
+                "solver.decisions"; "solver.propagations"; "solver.conflicts";
+                "solver.restarts";
+              ]
+          then
+            Format.printf
+              "==> solver profile: decisions=%d propagations=%d \
+               conflicts=%d restarts=%d@."
+              (Obs.counter obs "solver.decisions")
+              (Obs.counter obs "solver.propagations")
+              (Obs.counter obs "solver.conflicts")
+              (Obs.counter obs "solver.restarts");
+          print_string (Profile.summary_to_string prof);
+          print_string (Profile.node_table prof);
+          print_string (Profile.worker_table prof);
+          print_string (Profile.timeline ~width prof);
+          (match events with
+          | None -> ()
+          | Some path ->
+              write_string_file path (Obs.to_jsonl obs ^ Profile.to_jsonl prof);
+              Format.printf "==> events written to %s@." path);
+          0
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Install a spec on the virtual-time pool and analyze the \
+          schedule's critical path: the makespan lower bound no worker \
+          count can beat, per-node slack (0 on critical nodes), \
+          per-worker utilization, a Gantt-style timeline, and the \
+          CP-efficiency ratio. With --events, also write the JSONL \
+          structured-event log including the profile.* event lines.")
+    Term.(
+      const run $ jobs $ width $ events_arg $ fresh $ backend_arg $ spec_arg)
 
 let spec_cmd =
   let explain =
@@ -435,21 +539,53 @@ let demo_cmd =
     Term.(const run $ spec_arg)
 
 let stats_cmd =
-  let run ccache parts =
+  let slack =
+    Arg.(
+      value & flag
+      & info [ "slack" ]
+          ~doc:
+            "Also run the critical-path analyzer and print the per-node \
+             slack table: how long each node could slip without growing \
+             the makespan lower bound (0 exactly on critical nodes).")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "With --slack, attribute the schedule at $(docv) workers \
+             (default 1).")
+  in
+  let run ccache slack jobs parts =
     let obs = Obs.create () in
     let ctx =
       Ospack.Context.create ~cache_root:"/ospack/buildcache"
         ?ccache_json:(read_ccache_file ccache) ~obs ()
     in
-    match Ospack.install ctx (join_spec parts) with
-    | Error e -> report_error e
-    | Ok report ->
-        Format.printf "==> %s@."
-          (Installer.summary_to_string report.Ospack.Commands.ir_summary);
-        print_string (Obs.timings_table obs);
-        print_string (Obs.stats_table obs);
-        write_ccache_file ctx ccache;
-        0
+    if slack then
+      match Ospack.profile ~jobs ctx (join_spec parts) with
+      | Error e -> report_error e
+      | Ok r ->
+          Format.printf "==> %s@."
+            (Installer.summary_to_string
+               (Installer.summary_of_outcomes
+                  r.Ospack.Commands.pf_report.Installer.pr_outcomes));
+          print_string (Obs.timings_table obs);
+          print_string (Obs.stats_table obs);
+          print_string (Profile.summary_to_string r.Ospack.Commands.pf_profile);
+          print_string (Profile.node_table r.Ospack.Commands.pf_profile);
+          write_ccache_file ctx ccache;
+          0
+    else
+      match Ospack.install ctx (join_spec parts) with
+      | Error e -> report_error e
+      | Ok report ->
+          Format.printf "==> %s@."
+            (Installer.summary_to_string report.Ospack.Commands.ir_summary);
+          print_string (Obs.timings_table obs);
+          print_string (Obs.stats_table obs);
+          write_ccache_file ctx ccache;
+          0
   in
   Cmd.v
     (Cmd.info "stats"
@@ -458,8 +594,9 @@ let stats_cmd =
           print the per-phase timing table, counters, and histograms. \
           With --ccache, the concretization-cache counters (ccache.hits \
           / ccache.misses / ccache.invalidations) show whether the run \
-          was warm.")
-    Term.(const run $ ccache_arg $ spec_arg)
+          was warm. With --slack, append the critical-path summary and \
+          the per-node slack table.")
+    Term.(const run $ ccache_arg $ slack $ jobs $ spec_arg)
 
 let trace_validate_cmd =
   let file =
@@ -473,39 +610,139 @@ let trace_validate_cmd =
       & info [ "expect" ] ~docv:"NAME"
           ~doc:"Require an event with this name to be present (repeatable).")
   in
+  (* the event types a JSONL structured-event log may contain: the
+     session stream (Obs.to_jsonl) plus the profile analysis lines
+     (Profile.to_jsonl) *)
+  let known_evs =
+    [
+      "meta"; "span_begin"; "span_end"; "instant"; "counter"; "histogram";
+      "profile.summary"; "profile.node"; "profile.worker";
+    ]
+  in
+  let validate_jsonl file content expects =
+    let lines =
+      List.filter (fun l -> l <> "") (String.split_on_char '\n' content)
+    in
+    let exception Invalid of string in
+    try
+      let names = ref [] in
+      let last_ts = ref neg_infinity in
+      let open_spans = ref 0 in
+      List.iteri
+        (fun i line ->
+          let fail msg = raise (Invalid (Printf.sprintf "line %d: %s" (i + 1) msg)) in
+          match Json.of_string line with
+          | Error e -> fail e
+          | Ok j -> (
+              (match Option.bind (Json.member "ev" j) Json.get_string with
+              | None -> fail "no \"ev\" field"
+              | Some ev ->
+                  if not (List.mem ev known_evs) then
+                    fail (Printf.sprintf "unknown event type %S" ev)
+                  else begin
+                    (match ev with
+                    | "span_begin" -> incr open_spans
+                    | "span_end" ->
+                        if !open_spans = 0 then
+                          fail "span_end with no open span"
+                        else decr open_spans
+                    | _ -> ())
+                  end);
+              (match Json.member "ts" j with
+              | Some ts -> (
+                  match
+                    match ts with
+                    | Json.Float f -> Some f
+                    | Json.Int n -> Some (float_of_int n)
+                    | _ -> None
+                  with
+                  | None -> fail "non-numeric \"ts\""
+                  | Some f ->
+                      if f < !last_ts then
+                        fail
+                          (Printf.sprintf
+                             "timestamp went backwards (%g after %g)" f
+                             !last_ts)
+                      else last_ts := f)
+              | None -> ());
+              List.iter
+                (fun key ->
+                  match Option.bind (Json.member key j) Json.get_string with
+                  | Some n -> names := n :: !names
+                  | None -> ())
+                [ "name"; "label" ]))
+        lines;
+      if lines = [] then raise (Invalid "empty event log");
+      if !open_spans <> 0 then
+        raise
+          (Invalid (Printf.sprintf "%d span(s) never closed" !open_spans));
+      match
+        List.filter (fun n -> not (List.mem n !names)) expects
+      with
+      | [] ->
+          Format.printf
+            "==> %s: %d JSONL events, spans balanced, all expected names \
+             present@."
+            file (List.length lines);
+          0
+      | missing ->
+          report_error
+            (Printf.sprintf "%s: missing names: %s" file
+               (String.concat ", " missing))
+    with Invalid msg -> report_error (Printf.sprintf "%s: %s" file msg)
+  in
   let run file expects =
     let ic = open_in file in
     let content = really_input_string ic (in_channel_length ic) in
     close_in ic;
-    match Json.of_string content with
-    | Error e -> report_error (Printf.sprintf "%s: %s" file e)
-    | Ok j -> (
-        let events =
-          match Json.member "traceEvents" j with
-          | Some (Json.List l) -> l
-          | _ -> []
-        in
-        if events = [] then
-          report_error (Printf.sprintf "%s: no traceEvents" file)
-        else
-          let names =
-            List.filter_map
-              (fun ev -> Option.bind (Json.member "name" ev) Json.get_string)
-              events
+    (* a JSONL event log starts with an {"ev":...} object on its first
+       line; anything else takes the Chrome trace-document path *)
+    let first_line =
+      match String.index_opt content '\n' with
+      | Some i -> String.sub content 0 i
+      | None -> content
+    in
+    let is_jsonl =
+      match Json.of_string first_line with
+      | Ok (Json.Obj fields) -> List.mem_assoc "ev" fields
+      | _ -> false
+    in
+    if is_jsonl then validate_jsonl file content expects
+    else
+      match Json.of_string content with
+      | Error e -> report_error (Printf.sprintf "%s: %s" file e)
+      | Ok j -> (
+          let events =
+            match Json.member "traceEvents" j with
+            | Some (Json.List l) -> l
+            | _ -> []
           in
-          match List.filter (fun n -> not (List.mem n names)) expects with
-          | [] ->
-              Format.printf "==> %s: %d events, all expected phases present@."
-                file (List.length events);
-              0
-          | missing ->
-              report_error
-                (Printf.sprintf "%s: missing phases: %s" file
-                   (String.concat ", " missing)))
+          if events = [] then
+            report_error (Printf.sprintf "%s: no traceEvents" file)
+          else
+            let names =
+              List.filter_map
+                (fun ev ->
+                  Option.bind (Json.member "name" ev) Json.get_string)
+                events
+            in
+            match List.filter (fun n -> not (List.mem n names)) expects with
+            | [] ->
+                Format.printf
+                  "==> %s: %d events, all expected phases present@." file
+                  (List.length events);
+                0
+            | missing ->
+                report_error
+                  (Printf.sprintf "%s: missing phases: %s" file
+                     (String.concat ", " missing)))
   in
   Cmd.v
     (Cmd.info "trace-validate"
-       ~doc:"Parse a trace file and check expected phase names are present.")
+       ~doc:
+         "Validate a trace file — a Chrome trace-event document or a \
+          JSONL structured-event log (detected by its first line) — and \
+          check expected event names are present.")
     Term.(const run $ file $ expects)
 
 (* `spack script FILE` — run a sequence of commands against one in-memory
@@ -747,9 +984,9 @@ let main =
     (Cmd.info "spack" ~version:"ospack-1.0"
        ~doc:"OCaml reproduction of the Spack package manager (SC'15).")
     [
-      install_cmd; spec_cmd; solve_cmd; graph_cmd; providers_cmd; info_cmd;
-      list_cmd; compilers_cmd; demo_cmd; stats_cmd; trace_validate_cmd;
-      script_cmd;
+      install_cmd; profile_cmd; spec_cmd; solve_cmd; graph_cmd;
+      providers_cmd; info_cmd; list_cmd; compilers_cmd; demo_cmd; stats_cmd;
+      trace_validate_cmd; script_cmd;
     ]
 
 let () = exit (Cmd.eval' main)

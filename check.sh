@@ -11,7 +11,7 @@ dune build @all 2>&1
 echo "== dune runtest"
 dune runtest
 
-echo "== obs smoke: trace a small install, validate it, regenerate BENCH_obs.json"
+echo "== obs smoke: trace a small install, validate it, check BENCH_obs.json"
 # the trace must parse as Chrome trace-event JSON, contain the expected
 # phase spans, and be byte-identical across two runs (virtual clock only)
 obs_tmp=_build/obs-smoke
@@ -23,9 +23,40 @@ cmp "$obs_tmp/trace1.json" "$obs_tmp/trace2.json"
     --expect concretize --expect build.stage --expect build.configure \
     --expect build.compile --expect build.link --expect build.install \
     --expect "install libdwarf"
-./_build/default/bench/main.exe obs BENCH_obs.json
+# the committed baseline must match a fresh run within the per-metric
+# tolerance policy (bench --check never writes; re-baselining is an
+# explicit `bench obs --update-baselines`)
+./_build/default/bench/main.exe obs --check > /dev/null
 
-echo "== parallel smoke: -j4 deterministic, store identical to -j1, regenerate BENCH_parallel.json"
+echo "== profile smoke: critical-path report and JSONL log deterministic at every -j"
+# `spack profile` must produce a byte-identical report and structured
+# event log across repeated runs, serial and parallel, and the JSONL log
+# must validate (balanced spans, monotone timestamps, profile.* events)
+prof_tmp=_build/profile-smoke
+mkdir -p "$prof_tmp"
+for j in 1 4; do
+    ./_build/default/bin/spack.exe profile -j "$j" --events "$prof_tmp/ev.jsonl" mpileaks > "$prof_tmp/report-a.txt"
+    cp "$prof_tmp/ev.jsonl" "$prof_tmp/ev-a.jsonl"
+    ./_build/default/bin/spack.exe profile -j "$j" --events "$prof_tmp/ev.jsonl" mpileaks > "$prof_tmp/report-b.txt"
+    cmp "$prof_tmp/report-a.txt" "$prof_tmp/report-b.txt"
+    cmp "$prof_tmp/ev-a.jsonl" "$prof_tmp/ev.jsonl"
+done
+./_build/default/bin/spack.exe trace-validate "$prof_tmp/ev-a.jsonl" \
+    --expect concretize --expect install --expect mpileaks
+grep -q '"ev":"profile.summary"' "$prof_tmp/ev-a.jsonl"
+# the slack table surfaces through `spack stats --slack` too
+./_build/default/bin/spack.exe stats --slack mpileaks | grep -q 'cp efficiency'
+
+echo "== bench regression gate: --check passes on baselines, fires on +10% injected cost"
+# an injected +10% per-node cost (a uniform scaling of the deterministic
+# schedule) must fail the gate; the unperturbed run must pass
+if ./_build/default/bench/main.exe parallel --check --inject-cost-pct 10 > "$prof_tmp/inject.out" 2>&1; then
+    echo "error: bench --check did not catch a +10% cost injection" >&2
+    exit 1
+fi
+grep -q 'REGRESSION' "$prof_tmp/inject.out"
+
+echo "== parallel smoke: -j4 deterministic, store identical to -j1, check BENCH_parallel.json"
 # the parallel scheduler must be deterministic (two -j4 runs byte-identical,
 # trace included) and must leave exactly the store a serial install leaves
 par_tmp=_build/parallel-smoke
@@ -39,9 +70,9 @@ mkdir -p "$par_tmp"
 cmp "$par_tmp/trace1.json" "$par_tmp/trace2.json"
 cmp "$par_tmp/index-j4a.json" "$par_tmp/index-j4b.json"
 cmp "$par_tmp/index-j1.json" "$par_tmp/index-j4a.json"
-./_build/default/bench/main.exe parallel BENCH_parallel.json
+./_build/default/bench/main.exe parallel --check > /dev/null
 
-echo "== ccache smoke: cold == warm == --fresh byte-for-byte, warm hits > 0, regenerate BENCH_concretize.json"
+echo "== ccache smoke: cold == warm == --fresh byte-for-byte, warm hits > 0, check BENCH_concretize.json"
 # the concretization cache must be observationally invisible: a cold run,
 # a warm run against the persisted cache, and a --fresh run must print
 # byte-identical concrete specs; the warm run must report cache hits
@@ -64,9 +95,9 @@ if [ -z "$warm_hits" ] || [ "$warm_hits" -lt 1 ]; then
 fi
 # the bench asserts byte-identity and the >=5x iteration reduction over
 # the whole 21-workload suite
-./_build/default/bench/main.exe concretize BENCH_concretize.json
+./_build/default/bench/main.exe concretize --check > /dev/null
 
-echo "== solve smoke: clause backend solves what greedy cannot, deterministically; regenerate BENCH_solve.json"
+echo "== solve smoke: clause backend solves what greedy cannot, deterministically; check BENCH_solve.json"
 # the §4.5 divergence spec: greedy must dead-end with a blocked decision
 # path, the clause backend must solve it (through openmpi) with
 # byte-identical output across runs; a true conflict must produce an
@@ -90,7 +121,7 @@ fi
 grep -q 'unsat core (clauses backend):' "$sv_tmp/unsat.out"
 # the bench asserts byte-identical backend agreement over the whole
 # 21-workload suite plus the divergence/unsat contract
-./_build/default/bench/main.exe solve BENCH_solve.json
+./_build/default/bench/main.exe solve --check > /dev/null
 
 echo "== checking for stray _build files in git"
 # nothing under _build/ may be tracked, and none may appear in git status

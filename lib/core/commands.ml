@@ -20,6 +20,7 @@ module Vlist = Ospack_version.Vlist
 module Vfs = Ospack_vfs.Vfs
 module Variant_decl = Ospack_package.Variant_decl
 module Obs = Ospack_obs.Obs
+module Profile = Ospack_obs.Profile
 
 type install_report = {
   ir_spec : Concrete.t;
@@ -204,6 +205,35 @@ let install ?backtrack ?(fresh = false) ?(jobs = 1) (ctx : Context.t) text =
               (report ~parallel:preport concrete
                  preport.Installer.pr_outcomes)
         | failures -> Error (Installer.failures_to_string failures)
+
+type profile_report = {
+  pf_spec : Concrete.t;
+  pf_report : Installer.parallel_report;
+  pf_profile : Profile.t;
+}
+
+(* [spack profile]: concretize, install on the -j pool (serial = -j1,
+   identical to [install]'s topological order), then replay the recorded
+   schedule through the critical-path analyzer. The install itself is
+   the profiled artifact, so the reuse shortcut of [install] is skipped:
+   an already-installed DAG simply profiles as all-zero-cost reuse. *)
+let profile ?(fresh = false) ?(jobs = 1) (ctx : Context.t) text =
+  let* ast = Parser.parse text in
+  let* concrete =
+    Obs.span ctx.obs ~cat:"concretize" "concretize" (fun () ->
+        concretize_ast ~fresh ctx ast)
+  in
+  let* preport =
+    Obs.span ctx.obs ~cat:"install" "install" (fun () ->
+        Installer.install_parallel ctx.installer ~jobs [ concrete ])
+  in
+  match preport.Installer.pr_failures with
+  | _ :: _ as failures -> Error (Installer.failures_to_string failures)
+  | [] ->
+      let* prof =
+        Profile.analyze (Installer.profile_input ~specs:[ concrete ] preport)
+      in
+      Ok { pf_spec = concrete; pf_report = preport; pf_profile = prof }
 
 let starts_with ~prefix s =
   String.length s >= String.length prefix

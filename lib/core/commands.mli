@@ -81,6 +81,27 @@ val install :
     bypassing both the installed-spec reuse and the concretization
     cache. *)
 
+type profile_report = {
+  pf_spec : Ospack_spec.Concrete.t;
+  pf_report : Ospack_store.Installer.parallel_report;
+  pf_profile : Ospack_obs.Profile.t;
+}
+
+val profile :
+  ?fresh:bool ->
+  ?jobs:int ->
+  Context.t ->
+  string ->
+  (profile_report, string) result
+(** Concretize, install at [-j jobs] (default 1 — [install]'s exact
+    serial order), and run the critical-path analyzer
+    ({!Ospack_obs.Profile.analyze}) over the recorded schedule
+    ([spack profile]). Always installs through the parallel scheduler so
+    a schedule exists to attribute; never takes [install]'s
+    installed-spec shortcut — re-profiling an installed DAG reports
+    all-zero costs (pure reuse). Node failures render as the same
+    multi-failure error as [install]. *)
+
 val find :
   Context.t -> ?query:string -> unit ->
   (Ospack_store.Database.record list, string) result

@@ -82,6 +82,17 @@ let float_to_string f =
     let fixed = expand_exponent shortest in
     if String.contains fixed '.' then fixed else fixed ^ ".0"
 
+(* Canonical fixed-point floats for golden artifacts: round to a decimal
+   grid before wrapping, so accumulated binary noise (14.360000000000001)
+   never reaches a baseline diff. Rounding to [decimals] places and then
+   printing the shortest round-trip representation always yields the
+   short decimal itself. *)
+let fixed ?(decimals = 6) f =
+  if f <> f || f = infinity || f = neg_infinity then Float f
+  else
+    let scale = 10.0 ** float_of_int decimals in
+    Float (Float.round (f *. scale) /. scale)
+
 let escape_string buf s =
   Buffer.add_char buf '"';
   String.iter

@@ -28,6 +28,15 @@ val to_string : ?indent:int -> t -> string
 val of_string : string -> (t, string) result
 (** Parse; the error message names the offending position. *)
 
+val fixed : ?decimals:int -> float -> t
+(** [fixed f] is [Float f] rounded to a fixed decimal grid
+    ([decimals] places, default 6) — the canonical constructor for every
+    float written to a golden or baseline artifact (BENCH files, profile
+    reports). Rounding first means the printed form is the short decimal
+    itself ([14.36], never [14.360000000000001]), so baselines stay
+    diff-stable under unrelated recomputation. Non-finite floats pass
+    through (and render as [null]). *)
+
 (** {1 Accessors} — total, returning [None] on shape mismatch. *)
 
 val member : string -> t -> t option

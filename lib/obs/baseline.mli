@@ -1,0 +1,49 @@
+(** The bench regression gate: per-metric tolerance diffing of a freshly
+    generated BENCH document against its committed baseline.
+
+    The BENCH_*.json artifacts are deterministic (virtual clock), so a
+    byte diff would technically work — but it cannot distinguish "the
+    scheduler got 10% slower" from "a field was renamed". This module
+    diffs the two documents structurally and judges every numeric leaf
+    by a {e metric policy} keyed on its field name:
+
+    - {b higher-is-worse} metrics (makespans, build seconds, solver
+      iterations/conflicts, per-phase totals…) may grow by at most the
+      tolerance; growth beyond it is a regression, shrinkage is an
+      improvement (reported, never failing);
+    - {b lower-is-worse} metrics (speedup, CP efficiency, cache/reuse
+      hits) mirror that;
+    - {b informational} metrics (real wall-clock [wall_ms]) are ignored
+      — they are the only nondeterministic numbers in the artifacts;
+    - everything else (counts, names, booleans, shapes) must match
+      exactly: an unlisted change fails the gate and forces an explicit
+      [bench --update-baselines].
+
+    The default tolerance is 5% relative (with a floor of 1.0 absolute
+    on the comparison base, so near-zero baselines still admit rounding
+    but an injected +10% cost always fires). *)
+
+type verdict =
+  | Regression  (** worse than baseline beyond tolerance — gate fails *)
+  | Shape  (** structural mismatch (missing/extra/retyped field) — fails *)
+  | Improvement  (** better than baseline beyond tolerance — reported *)
+
+type finding = {
+  f_path : string;  (** JSON path, e.g. [workloads[3].jobs[2].makespan_seconds] *)
+  f_verdict : verdict;
+  f_message : string;
+}
+
+val tolerance : float
+(** The relative tolerance applied to direction-aware metrics ([0.05]). *)
+
+val compare_docs :
+  baseline:Ospack_json.Json.t -> current:Ospack_json.Json.t -> finding list
+(** All findings, in document order. *)
+
+val regressions : finding list -> finding list
+(** Only the gate-failing findings ([Regression] and [Shape]). *)
+
+val report : finding list -> string
+(** Human-readable rendering, one line per finding; ["baseline check: ok\n"]
+    when the list is empty. *)

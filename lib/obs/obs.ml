@@ -279,6 +279,90 @@ let stats_table t =
         hs);
   Buffer.contents buf
 
+(* ---------------- JSONL structured-event export ---------------- *)
+
+(* One self-describing JSON object per line, in event order, followed by
+   the counter and histogram summaries. Timestamps are virtual seconds on
+   the fixed-point grid (the clock ticks in whole microseconds), so the
+   log is byte-identical across runs — the machine-readable sibling of
+   the Chrome trace, built for line-oriented diffing and appending. *)
+let jsonl_event = function
+  | Begin { name; cat; ts; args } ->
+      Json.Obj
+        ([
+           ("ev", Json.String "span_begin");
+           ("ts", Json.fixed ts);
+           ("name", Json.String name);
+           ("cat", Json.String cat);
+         ]
+        @
+        match args with
+        | [] -> []
+        | args ->
+            [
+              ( "args",
+                Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) args) );
+            ])
+  | End { name; cat; ts } ->
+      Json.Obj
+        [
+          ("ev", Json.String "span_end");
+          ("ts", Json.fixed ts);
+          ("name", Json.String name);
+          ("cat", Json.String cat);
+        ]
+  | Instant { name; cat; ts } ->
+      Json.Obj
+        [
+          ("ev", Json.String "instant");
+          ("ts", Json.fixed ts);
+          ("name", Json.String name);
+          ("cat", Json.String cat);
+        ]
+
+let to_jsonl t =
+  let buf = Buffer.create 1024 in
+  let line j =
+    Buffer.add_string buf (Json.to_string j);
+    Buffer.add_char buf '\n'
+  in
+  (match t with
+  | None -> line (Json.Obj [ ("ev", Json.String "meta"); ("format", Json.Int 1) ])
+  | Some s ->
+      line
+        (Json.Obj
+           [
+             ("ev", Json.String "meta");
+             ("format", Json.Int 1);
+             ("clock", Json.String "virtual-seconds");
+             ("events", Json.Int s.n_events);
+           ]);
+      List.iter (fun ev -> line (jsonl_event ev)) (events_in_order s);
+      List.iter
+        (fun (name, v) ->
+          line
+            (Json.Obj
+               [
+                 ("ev", Json.String "counter");
+                 ("name", Json.String name);
+                 ("value", Json.Int v);
+               ]))
+        (counters t);
+      List.iter
+        (fun (name, h) ->
+          line
+            (Json.Obj
+               [
+                 ("ev", Json.String "histogram");
+                 ("name", Json.String name);
+                 ("count", Json.Int h.h_count);
+                 ("min", Json.fixed h.h_min);
+                 ("max", Json.fixed h.h_max);
+                 ("sum", Json.fixed h.h_sum);
+               ]))
+        (histograms t));
+  Buffer.contents buf
+
 (* ---------------- Chrome trace-event export ---------------- *)
 
 let us seconds = Json.Float (seconds *. 1e6)

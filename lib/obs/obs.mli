@@ -117,6 +117,14 @@ val timings_table : t -> string
 val stats_table : t -> string
 (** Counters and histogram summaries, the payload of [spack stats]. *)
 
+val to_jsonl : t -> string
+(** The session as a deterministic JSONL structured-event log: one JSON
+    object per line — a [meta] header, then every recorded event in
+    order ([span_begin]/[span_end]/[instant], timestamps in virtual
+    seconds on the microsecond grid), then the [counter] and
+    [histogram] summaries sorted by name. Byte-identical across
+    identical runs; validated by [spack trace-validate]. *)
+
 val to_chrome_trace : t -> Ospack_json.Json.t
 (** The session as a Chrome trace-event object
     ([chrome://tracing] / Perfetto): [{"traceEvents": [...]}] with

@@ -1,0 +1,432 @@
+module Json = Ospack_json.Json
+
+type node = {
+  nd_id : string;
+  nd_label : string;
+  nd_cost : float;
+  nd_deps : string list;
+}
+
+type slot = {
+  st_id : string;
+  st_worker : int;
+  st_start : float;
+  st_finish : float;
+}
+
+type input = { in_jobs : int; in_nodes : node list; in_slots : slot list }
+
+type row = {
+  r_id : string;
+  r_label : string;
+  r_cost : float;
+  r_es : float;
+  r_ef : float;
+  r_ls : float;
+  r_slack : float;
+  r_critical : bool;
+  r_worker : int option;
+  r_start : float;
+  r_finish : float;
+}
+
+type worker_row = {
+  w_worker : int;
+  w_dispatches : int;
+  w_busy : float;
+  w_idle : float;
+  w_utilization : float;
+}
+
+type t = {
+  p_jobs : int;
+  p_rows : row list;
+  p_workers : worker_row list;
+  p_makespan : float;
+  p_serial_seconds : float;
+  p_cp_seconds : float;
+  p_cp_nodes : string list;
+  p_efficiency : float;
+  p_speedup : float;
+}
+
+(* ASAP and ALAP are computed with the same additions in opposite
+   directions, so rounding can leave a critical node with slack of a few
+   ulps; anything below this is structurally zero. *)
+let eps = 1e-9
+
+let ( let* ) = Result.bind
+
+(* Deterministic topological order: Kahn's algorithm with the ready set
+   ordered by input position, so equal DAGs analyze identically whatever
+   the caller's list order encodes. *)
+let topo_order nodes =
+  let n = Array.length nodes in
+  let index_of = Hashtbl.create (2 * n) in
+  let* () =
+    let rec check i =
+      if i >= n then Ok ()
+      else if Hashtbl.mem index_of nodes.(i).nd_id then
+        Error (Printf.sprintf "profile: duplicate node id %s" nodes.(i).nd_id)
+      else begin
+        Hashtbl.add index_of nodes.(i).nd_id i;
+        check (i + 1)
+      end
+    in
+    check 0
+  in
+  let* deps =
+    let resolve nd =
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | d :: rest -> (
+            match Hashtbl.find_opt index_of d with
+            | Some i -> go (i :: acc) rest
+            | None ->
+                Error
+                  (Printf.sprintf "profile: %s depends on unknown node %s"
+                     nd.nd_id d))
+      in
+      go [] nd.nd_deps
+    in
+    let rec all acc i =
+      if i >= n then Ok (Array.of_list (List.rev acc))
+      else
+        let* ds = resolve nodes.(i) in
+        all (ds :: acc) (i + 1)
+    in
+    all [] 0
+  in
+  let pending = Array.map List.length deps in
+  let dependents = Array.make n [] in
+  Array.iteri
+    (fun i ds -> List.iter (fun d -> dependents.(d) <- i :: dependents.(d)) ds)
+    deps;
+  Array.iteri (fun i l -> dependents.(i) <- List.rev l) dependents;
+  let module ISet = Set.Make (Int) in
+  let ready = ref ISet.empty in
+  Array.iteri (fun i p -> if p = 0 then ready := ISet.add i !ready) pending;
+  let order = ref [] in
+  let count = ref 0 in
+  while not (ISet.is_empty !ready) do
+    let i = ISet.min_elt !ready in
+    ready := ISet.remove i !ready;
+    order := i :: !order;
+    incr count;
+    List.iter
+      (fun d ->
+        pending.(d) <- pending.(d) - 1;
+        if pending.(d) = 0 then ready := ISet.add d !ready)
+      dependents.(i)
+  done;
+  if !count < n then Error "profile: dependency cycle among nodes"
+  else Ok (List.rev !order, deps, dependents)
+
+let analyze input =
+  let nodes = Array.of_list input.in_nodes in
+  let n = Array.length nodes in
+  let* order, deps, dependents = topo_order nodes in
+  (* ASAP pass (forward): the -j infinity schedule *)
+  let es = Array.make (max n 1) 0.0 and ef = Array.make (max n 1) 0.0 in
+  List.iter
+    (fun i ->
+      let start =
+        List.fold_left (fun acc d -> Float.max acc ef.(d)) 0.0 deps.(i)
+      in
+      es.(i) <- start;
+      ef.(i) <- start +. nodes.(i).nd_cost)
+    order;
+  let cp = Array.fold_left Float.max 0.0 (Array.sub ef 0 n) in
+  (* ALAP pass (backward): latest start preserving the CP bound *)
+  let ls = Array.make (max n 1) 0.0 and lf = Array.make (max n 1) 0.0 in
+  List.iter
+    (fun i ->
+      let finish =
+        List.fold_left (fun acc d -> Float.min acc ls.(d)) cp dependents.(i)
+      in
+      lf.(i) <- finish;
+      ls.(i) <- finish -. nodes.(i).nd_cost)
+    (List.rev order);
+  let slack = Array.make (max n 1) 0.0 in
+  Array.iteri
+    (fun i _ ->
+      let s = ls.(i) -. es.(i) in
+      slack.(i) <- (if Float.abs s < eps then 0.0 else s))
+    nodes;
+  (* one canonical critical path: walk from the exit node that realizes
+     the CP back through critical dependencies, smallest id on ties *)
+  let better i best =
+    match best with
+    | None -> Some i
+    | Some b ->
+        if String.compare nodes.(i).nd_id nodes.(b).nd_id < 0 then Some i
+        else best
+  in
+  let exit_node = ref None in
+  Array.iteri
+    (fun i _ ->
+      if slack.(i) = 0.0 && Float.abs (ef.(i) -. cp) < eps then
+        exit_node := better i !exit_node)
+    nodes;
+  let cp_nodes =
+    let rec walk acc i =
+      let acc = nodes.(i).nd_label :: acc in
+      let prev =
+        List.fold_left
+          (fun best d ->
+            if slack.(d) = 0.0 && Float.abs (ef.(d) -. es.(i)) < eps then
+              better d best
+            else best)
+          None deps.(i)
+      in
+      match prev with Some d -> walk acc d | None -> acc
+    in
+    match !exit_node with None -> [] | Some i -> walk [] i
+  in
+  (* schedule attribution *)
+  let slot_of = Hashtbl.create (2 * n) in
+  List.iter (fun s -> Hashtbl.replace slot_of s.st_id s) input.in_slots;
+  let makespan =
+    List.fold_left (fun acc s -> Float.max acc s.st_finish) 0.0 input.in_slots
+  in
+  let serial = Array.fold_left (fun acc nd -> acc +. nd.nd_cost) 0.0 nodes in
+  let n_workers =
+    List.fold_left
+      (fun acc s -> max acc (s.st_worker + 1))
+      input.in_jobs input.in_slots
+  in
+  let busy = Array.make (max n_workers 1) 0.0 in
+  let dispatches = Array.make (max n_workers 1) 0 in
+  List.iter
+    (fun s ->
+      busy.(s.st_worker) <- busy.(s.st_worker) +. (s.st_finish -. s.st_start);
+      dispatches.(s.st_worker) <- dispatches.(s.st_worker) + 1)
+    input.in_slots;
+  let workers =
+    List.init n_workers (fun w ->
+        {
+          w_worker = w;
+          w_dispatches = dispatches.(w);
+          w_busy = busy.(w);
+          w_idle = Float.max 0.0 (makespan -. busy.(w));
+          w_utilization = (if makespan > 0.0 then busy.(w) /. makespan else 1.0);
+        })
+  in
+  let rows =
+    List.map
+      (fun i ->
+        let nd = nodes.(i) in
+        let worker, start, finish =
+          match Hashtbl.find_opt slot_of nd.nd_id with
+          | Some s -> (Some s.st_worker, s.st_start, s.st_finish)
+          | None -> (None, 0.0, 0.0)
+        in
+        {
+          r_id = nd.nd_id;
+          r_label = nd.nd_label;
+          r_cost = nd.nd_cost;
+          r_es = es.(i);
+          r_ef = ef.(i);
+          r_ls = ls.(i);
+          r_slack = slack.(i);
+          r_critical = slack.(i) = 0.0;
+          r_worker = worker;
+          r_start = start;
+          r_finish = finish;
+        })
+      order
+  in
+  Ok
+    {
+      p_jobs = input.in_jobs;
+      p_rows = rows;
+      p_workers = workers;
+      p_makespan = makespan;
+      p_serial_seconds = serial;
+      p_cp_seconds = cp;
+      p_cp_nodes = cp_nodes;
+      p_efficiency = (if makespan > 0.0 then cp /. makespan else 1.0);
+      p_speedup = (if makespan > 0.0 then serial /. makespan else 1.0);
+    }
+
+(* ---------------- rendering ---------------- *)
+
+let summary_to_string t =
+  let buf = Buffer.create 256 in
+  let addf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  addf "nodes %d, workers %d (-j%d)\n" (List.length t.p_rows)
+    (List.length t.p_workers) t.p_jobs;
+  addf "makespan        %12.6f s\n" t.p_makespan;
+  addf "serialized      %12.6f s  (speedup %.2fx)\n" t.p_serial_seconds
+    t.p_speedup;
+  addf "critical path   %12.6f s  (%d node(s): %s)\n" t.p_cp_seconds
+    (List.length t.p_cp_nodes)
+    (String.concat " -> " t.p_cp_nodes);
+  addf "cp efficiency   %12.6f    (1.0 = makespan meets the CP lower bound)\n"
+    t.p_efficiency;
+  Buffer.contents buf
+
+(* dispatch order: scheduled nodes by (start, id), unscheduled last by id *)
+let dispatch_rows t =
+  List.stable_sort
+    (fun a b ->
+      match (a.r_worker, b.r_worker) with
+      | Some _, None -> -1
+      | None, Some _ -> 1
+      | _ ->
+          let c = Float.compare a.r_start b.r_start in
+          if c <> 0 then c else String.compare a.r_id b.r_id)
+    t.p_rows
+
+let node_table t =
+  let buf = Buffer.create 512 in
+  let addf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  addf "%-20s %12s %12s %12s %6s %12s %3s\n" "node" "cost(s)" "start" "finish"
+    "worker" "slack(s)" "cp";
+  List.iter
+    (fun r ->
+      addf "%-20s %12.6f %12.6f %12.6f %6s %12.6f %3s\n" r.r_label r.r_cost
+        r.r_start r.r_finish
+        (match r.r_worker with Some w -> string_of_int w | None -> "-")
+        r.r_slack
+        (if r.r_critical then "*" else ""))
+    (dispatch_rows t);
+  Buffer.contents buf
+
+let worker_table t =
+  let buf = Buffer.create 256 in
+  let addf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  addf "%-8s %10s %12s %12s %8s\n" "worker" "dispatches" "busy(s)" "idle(s)"
+    "util";
+  List.iter
+    (fun w ->
+      addf "%-8d %10d %12.6f %12.6f %7.1f%%\n" w.w_worker w.w_dispatches
+        w.w_busy w.w_idle
+        (100.0 *. w.w_utilization))
+    t.p_workers;
+  Buffer.contents buf
+
+let letters =
+  "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
+
+let timeline ?(width = 64) t =
+  let buf = Buffer.create 512 in
+  if t.p_makespan <= 0.0 then Buffer.add_string buf "(empty schedule)\n"
+  else begin
+    let scheduled =
+      List.filter (fun r -> r.r_worker <> None) (dispatch_rows t)
+    in
+    let letter i = letters.[i mod String.length letters] in
+    let lanes =
+      Array.init (List.length t.p_workers) (fun _ -> Bytes.make width '.')
+    in
+    List.iteri
+      (fun i r ->
+        match r.r_worker with
+        | None -> ()
+        | Some w ->
+            let bucket x =
+              min (width - 1)
+                (int_of_float (Float.of_int width *. x /. t.p_makespan))
+            in
+            let b0 = bucket r.r_start in
+            (* zero-duration slots (reused nodes) draw nothing *)
+            if r.r_finish > r.r_start then
+              let b1 = bucket (r.r_finish -. (t.p_makespan /. 1e9)) in
+              for b = b0 to max b0 b1 do
+                Bytes.set lanes.(w) b (letter i)
+              done)
+      scheduled;
+    Array.iteri
+      (fun w lane ->
+        Buffer.add_string buf
+          (Printf.sprintf "w%-3d |%s|\n" w (Bytes.to_string lane)))
+      lanes;
+    (* legend, wrapped *)
+    let col = ref 0 in
+    List.iteri
+      (fun i r ->
+        let entry = Printf.sprintf "%c=%s" (letter i) r.r_label in
+        if !col = 0 then Buffer.add_string buf "  "
+        else if !col + String.length entry + 2 > 70 then begin
+          Buffer.add_string buf "\n  ";
+          col := 0
+        end
+        else Buffer.add_string buf "  ";
+        Buffer.add_string buf entry;
+        col := !col + String.length entry + 2)
+      scheduled;
+    if scheduled <> [] then Buffer.add_char buf '\n'
+  end;
+  Buffer.contents buf
+
+let to_string t =
+  summary_to_string t ^ node_table t ^ worker_table t ^ timeline t
+
+(* ---------------- structured export ---------------- *)
+
+let summary_json t =
+  Json.Obj
+    [
+      ("jobs", Json.Int t.p_jobs);
+      ("nodes", Json.Int (List.length t.p_rows));
+      ("makespan_seconds", Json.fixed t.p_makespan);
+      ("serial_seconds", Json.fixed t.p_serial_seconds);
+      ("cp_seconds", Json.fixed t.p_cp_seconds);
+      ( "cp_nodes",
+        Json.List (List.map (fun l -> Json.String l) t.p_cp_nodes) );
+      ("efficiency", Json.fixed t.p_efficiency);
+      ("speedup", Json.fixed t.p_speedup);
+    ]
+
+let node_json r =
+  Json.Obj
+    [
+      ("id", Json.String r.r_id);
+      ("label", Json.String r.r_label);
+      ("cost_seconds", Json.fixed r.r_cost);
+      ("earliest_start", Json.fixed r.r_es);
+      ("earliest_finish", Json.fixed r.r_ef);
+      ("latest_start", Json.fixed r.r_ls);
+      ("slack_seconds", Json.fixed r.r_slack);
+      ("critical", Json.Bool r.r_critical);
+      ( "worker",
+        match r.r_worker with Some w -> Json.Int w | None -> Json.Null );
+      ("start", Json.fixed r.r_start);
+      ("finish", Json.fixed r.r_finish);
+    ]
+
+let worker_json w =
+  Json.Obj
+    [
+      ("worker", Json.Int w.w_worker);
+      ("dispatches", Json.Int w.w_dispatches);
+      ("busy_seconds", Json.fixed w.w_busy);
+      ("idle_seconds", Json.fixed w.w_idle);
+      ("utilization", Json.fixed w.w_utilization);
+    ]
+
+let with_ev ev = function
+  | Json.Obj fields -> Json.Obj (("ev", Json.String ev) :: fields)
+  | j -> j
+
+let to_jsonl t =
+  let buf = Buffer.create 1024 in
+  let line j =
+    Buffer.add_string buf (Json.to_string j);
+    Buffer.add_char buf '\n'
+  in
+  line (with_ev "profile.summary" (summary_json t));
+  List.iter (fun r -> line (with_ev "profile.node" (node_json r))) t.p_rows;
+  List.iter
+    (fun w -> line (with_ev "profile.worker" (worker_json w)))
+    t.p_workers;
+  Buffer.contents buf
+
+let to_json t =
+  Json.Obj
+    [
+      ("summary", summary_json t);
+      ("nodes", Json.List (List.map node_json t.p_rows));
+      ("workers", Json.List (List.map worker_json t.p_workers));
+    ]

@@ -1,0 +1,118 @@
+(** Post-hoc critical-path analysis of a scheduled install DAG.
+
+    The parallel installer ({!Ospack_store.Installer.install_parallel})
+    records a deterministic schedule — which worker ran which node over
+    which virtual-time interval. This module replays that schedule
+    against the DAG's per-node costs to answer the question the raw
+    span stream cannot: {e why} is the makespan what it is?
+
+    - the {b critical path} (CP): the longest cost-weighted dependency
+      chain — the makespan lower bound no worker count can beat
+      (the [-j ∞] makespan equals it exactly);
+    - per-node {b slack}: how long a node could slip without growing
+      the makespan lower bound (ALAP start − ASAP start; 0 exactly on
+      critical nodes) — the prioritization signal for a CP-aware
+      scheduler;
+    - per-worker {b utilization} and idle attribution;
+    - the {b efficiency ratio} CP ⁄ makespan — 1.0 means the schedule
+      already achieves the structural lower bound and only more
+      parallelism in the DAG itself can help.
+
+    Everything here is a pure function of the input, so reports, JSONL
+    logs, and JSON exports are byte-identical across runs. *)
+
+type node = {
+  nd_id : string;  (** unique node id (the sub-DAG hash) *)
+  nd_label : string;  (** human label (the package name) *)
+  nd_cost : float;  (** virtual seconds charged to this node *)
+  nd_deps : string list;  (** ids of direct dependencies *)
+}
+
+type slot = {
+  st_id : string;  (** node id *)
+  st_worker : int;
+  st_start : float;  (** virtual seconds *)
+  st_finish : float;
+}
+
+type input = {
+  in_jobs : int;
+  in_nodes : node list;  (** any order; must be acyclic and closed *)
+  in_slots : slot list;  (** the schedule actually executed *)
+}
+
+type row = {
+  r_id : string;
+  r_label : string;
+  r_cost : float;
+  r_es : float;  (** earliest (ASAP) start — the [-j ∞] schedule *)
+  r_ef : float;  (** earliest finish *)
+  r_ls : float;  (** latest (ALAP) start that preserves the CP bound *)
+  r_slack : float;  (** [r_ls -. r_es]; exactly [0.] on critical nodes *)
+  r_critical : bool;
+  r_worker : int option;  (** actual placement, when scheduled *)
+  r_start : float;  (** actual dispatch time ([0.] when unscheduled) *)
+  r_finish : float;
+}
+
+type worker_row = {
+  w_worker : int;
+  w_dispatches : int;
+  w_busy : float;  (** virtual seconds spent executing nodes *)
+  w_idle : float;  (** makespan − busy: idle attribution *)
+  w_utilization : float;  (** busy ⁄ makespan ([1.] for an empty schedule) *)
+}
+
+type t = {
+  p_jobs : int;
+  p_rows : row list;  (** topological order (dependencies first) *)
+  p_workers : worker_row list;  (** one row per worker, ascending *)
+  p_makespan : float;  (** max slot finish *)
+  p_serial_seconds : float;  (** sum of node costs *)
+  p_cp_seconds : float;  (** critical-path length: max earliest finish *)
+  p_cp_nodes : string list;
+      (** labels of one canonical critical path, execution order
+          (ties broken by smallest id) *)
+  p_efficiency : float;
+      (** [p_cp_seconds /. p_makespan] — 1.0 when the schedule meets
+          the structural lower bound *)
+  p_speedup : float;  (** [p_serial_seconds /. p_makespan] *)
+}
+
+val analyze : input -> (t, string) result
+(** Replay the DAG: ASAP and ALAP passes over the cost-weighted
+    dependency relation, then attribution of the recorded schedule.
+    Errors (never exceptions) on a dependency id that is not a node,
+    a duplicate node id, or a cycle. *)
+
+val summary_to_string : t -> string
+(** The header block: nodes/jobs, makespan vs serialized (speedup),
+    critical path (length and member labels), and CP efficiency. *)
+
+val node_table : t -> string
+(** The per-node slack table ([spack stats --slack]): cost, ASAP
+    start/finish, actual worker/start, slack, and a [*] marker on
+    critical nodes — rows in actual dispatch order (unscheduled nodes
+    last, by id). *)
+
+val worker_table : t -> string
+(** Per-worker dispatches, busy, idle, and utilization percentage. *)
+
+val timeline : ?width:int -> t -> string
+(** A Gantt-style text timeline: one lane per worker, [width] buckets
+    (default 64) spanning the makespan, each slot drawn with a letter
+    keyed in the legend below ([.] = idle). *)
+
+val to_string : t -> string
+(** [summary ^ node_table ^ worker_table ^ timeline] — the full
+    [spack profile] report. *)
+
+val to_jsonl : t -> string
+(** The analysis as JSONL structured events: one [profile.summary]
+    line, one [profile.node] line per row, one [profile.worker] line
+    per worker — the event types [spack trace-validate] knows. Floats
+    are canonicalized through {!Ospack_json.Json.fixed}. *)
+
+val to_json : t -> Ospack_json.Json.t
+(** Structured export for the bench harness (summary + nodes + workers),
+    floats canonicalized. *)

@@ -391,6 +391,56 @@ let parallel_summary_to_string r =
   Printf.sprintf "makespan %.1f s vs %.1f s serialized (%.2fx at -j%d)"
     r.pr_makespan r.pr_serial_seconds (parallel_speedup r) r.pr_jobs
 
+let profile_input ~specs (r : parallel_report) =
+  let module P = Ospack_obs.Profile in
+  (* node costs come from the recorded schedule: a node absent from it
+     (reused, external, or never dispatched) charged nothing *)
+  let slot_cost = Hashtbl.create 64 in
+  List.iter
+    (fun s -> Hashtbl.replace slot_cost s.sl_hash (s.sl_finish -. s.sl_start))
+    r.pr_schedule;
+  (* merge the spec DAGs by sub-DAG hash in first-occurrence order,
+     exactly as install_parallel builds its node table *)
+  let seen = Hashtbl.create 64 in
+  let rev_nodes = ref [] in
+  List.iter
+    (fun spec ->
+      List.iter
+        (fun name ->
+          let hash = Concrete.dag_hash spec name in
+          if not (Hashtbl.mem seen hash) then begin
+            Hashtbl.add seen hash ();
+            let deps =
+              List.map
+                (fun dep -> Concrete.dag_hash spec dep)
+                (Concrete.node_exn spec name).Concrete.deps
+            in
+            let cost =
+              match Hashtbl.find_opt slot_cost hash with
+              | Some c -> c
+              | None -> 0.0
+            in
+            rev_nodes :=
+              { P.nd_id = hash; nd_label = name; nd_cost = cost; nd_deps = deps }
+              :: !rev_nodes
+          end)
+        (Concrete.topological_order spec))
+    specs;
+  {
+    P.in_jobs = r.pr_jobs;
+    in_nodes = List.rev !rev_nodes;
+    in_slots =
+      List.map
+        (fun s ->
+          {
+            P.st_id = s.sl_hash;
+            st_worker = s.sl_worker;
+            st_start = s.sl_start;
+            st_finish = s.sl_finish;
+          })
+        r.pr_schedule;
+  }
+
 (* one merged scheduling node; specs sharing a sub-DAG hash share it *)
 type pnode = {
   pn_name : string;

@@ -166,6 +166,18 @@ val parallel_speedup : parallel_report -> float
 val parallel_summary_to_string : parallel_report -> string
 (** ["makespan X s vs Y s serialized (Zx at -jN)"]. *)
 
+val profile_input :
+  specs:Ospack_spec.Concrete.t list ->
+  parallel_report ->
+  Ospack_obs.Profile.input
+(** Extract the cost-weighted DAG and executed schedule for
+    {!Ospack_obs.Profile.analyze}: spec DAGs merged by sub-DAG hash in
+    first-occurrence order (exactly the scheduler's node table), node
+    ids = hashes, labels = package names, costs = recorded slot
+    durations (nodes absent from the schedule — reused or external —
+    cost [0.]). Pure; pairs with the [specs] actually passed to
+    {!install_parallel}. *)
+
 val uninstall : t -> hash:string -> (Database.record, string) result
 (** Remove an installed record and its prefix. Fails (removing nothing)
     when other installed specs depend on it. *)

@@ -1,0 +1,387 @@
+(* The critical-path profiler: hand-computed ASAP/ALAP values on known
+   DAG shapes, the CP = -j∞ makespan identity on real installer
+   schedules, the slack-of-critical-nodes-is-zero invariant, rendering
+   determinism, the JSONL event log, and the baseline regression gate. *)
+
+open Ospack_package.Package
+module Repository = Ospack_package.Repository
+module Compilers = Ospack_config.Compilers
+module Concretizer = Ospack_concretize.Concretizer
+module Concrete = Ospack_spec.Concrete
+module Installer = Ospack_store.Installer
+module Universe = Ospack_repo.Universe
+module Vfs = Ospack_vfs.Vfs
+module Obs = Ospack_obs.Obs
+module Profile = Ospack_obs.Profile
+module Baseline = Ospack_obs.Baseline
+module Json = Ospack_json.Json
+
+let feq = Alcotest.(check (float 1e-9))
+
+let node ?(deps = []) id cost =
+  { Profile.nd_id = id; nd_label = id; nd_cost = cost; nd_deps = deps }
+
+let analyze ?(jobs = 1) ?(slots = []) nodes =
+  match
+    Profile.analyze { Profile.in_jobs = jobs; in_nodes = nodes; in_slots = slots }
+  with
+  | Ok p -> p
+  | Error e -> Alcotest.failf "analyze: %s" e
+
+let row p id =
+  match List.find_opt (fun r -> r.Profile.r_id = id) p.Profile.p_rows with
+  | Some r -> r
+  | None -> Alcotest.failf "no row for %s" id
+
+(* --- hand-computed shapes --- *)
+
+let chain () =
+  (* a(2) -> b(3) -> c(5): everything is critical *)
+  let p =
+    analyze
+      [ node "a" 2.0; node "b" 3.0 ~deps:[ "a" ]; node "c" 5.0 ~deps:[ "b" ] ]
+  in
+  feq "cp" 10.0 p.Profile.p_cp_seconds;
+  feq "serial" 10.0 p.Profile.p_serial_seconds;
+  Alcotest.(check (list string)) "cp path" [ "a"; "b"; "c" ] p.Profile.p_cp_nodes;
+  List.iter
+    (fun id ->
+      let r = row p id in
+      Alcotest.(check bool) (id ^ " critical") true r.Profile.r_critical;
+      feq (id ^ " slack") 0.0 r.Profile.r_slack)
+    [ "a"; "b"; "c" ];
+  feq "b es" 2.0 (row p "b").Profile.r_es;
+  feq "c ef" 10.0 (row p "c").Profile.r_ef
+
+let diamond () =
+  (* a(1) -> {b(4), c(2)} -> d(3): the b arm carries the CP; c has
+     exactly cost(b) - cost(c) = 2 s of slack *)
+  let p =
+    analyze
+      [
+        node "a" 1.0;
+        node "b" 4.0 ~deps:[ "a" ];
+        node "c" 2.0 ~deps:[ "a" ];
+        node "d" 3.0 ~deps:[ "b"; "c" ];
+      ]
+  in
+  feq "cp" 8.0 p.Profile.p_cp_seconds;
+  Alcotest.(check (list string)) "cp path" [ "a"; "b"; "d" ] p.Profile.p_cp_nodes;
+  let c = row p "c" in
+  Alcotest.(check bool) "c off the cp" false c.Profile.r_critical;
+  feq "c slack" 2.0 c.Profile.r_slack;
+  feq "c ls" 3.0 c.Profile.r_ls;
+  feq "b slack" 0.0 (row p "b").Profile.r_slack
+
+let fan () =
+  (* four independent sources into one sink: CP = longest source + sink *)
+  let p =
+    analyze
+      [
+        node "a" 5.0; node "b" 3.0; node "c" 2.0; node "d" 1.0;
+        node "sink" 1.0 ~deps:[ "a"; "b"; "c"; "d" ];
+      ]
+  in
+  feq "cp" 6.0 p.Profile.p_cp_seconds;
+  feq "serial" 12.0 p.Profile.p_serial_seconds;
+  Alcotest.(check (list string)) "cp path" [ "a"; "sink" ] p.Profile.p_cp_nodes;
+  feq "b slack" 2.0 (row p "b").Profile.r_slack;
+  feq "c slack" 3.0 (row p "c").Profile.r_slack;
+  feq "d slack" 4.0 (row p "d").Profile.r_slack
+
+let bad_inputs () =
+  let expect_error name input =
+    match Profile.analyze input with
+    | Ok _ -> Alcotest.failf "%s: expected an error" name
+    | Error _ -> ()
+  in
+  expect_error "duplicate id"
+    { Profile.in_jobs = 1; in_nodes = [ node "a" 1.0; node "a" 2.0 ]; in_slots = [] };
+  expect_error "unknown dep"
+    {
+      Profile.in_jobs = 1;
+      in_nodes = [ node "a" 1.0 ~deps:[ "ghost" ] ];
+      in_slots = [];
+    };
+  expect_error "cycle"
+    {
+      Profile.in_jobs = 1;
+      in_nodes = [ node "a" 1.0 ~deps:[ "b" ]; node "b" 1.0 ~deps:[ "a" ] ];
+      in_slots = [];
+    }
+
+let schedule_attribution () =
+  (* two workers, the recorded schedule places b after a's finish *)
+  let slots =
+    [
+      { Profile.st_id = "a"; st_worker = 0; st_start = 0.0; st_finish = 2.0 };
+      { Profile.st_id = "c"; st_worker = 1; st_start = 0.0; st_finish = 1.0 };
+      { Profile.st_id = "b"; st_worker = 1; st_start = 2.0; st_finish = 5.0 };
+    ]
+  in
+  let p =
+    analyze ~jobs:2 ~slots
+      [ node "a" 2.0; node "c" 1.0; node "b" 3.0 ~deps:[ "a" ] ]
+  in
+  feq "makespan" 5.0 p.Profile.p_makespan;
+  feq "cp" 5.0 p.Profile.p_cp_seconds;
+  feq "efficiency" 1.0 p.Profile.p_efficiency;
+  feq "speedup" 1.2 p.Profile.p_speedup;
+  let w0, w1 =
+    match p.Profile.p_workers with
+    | [ w0; w1 ] -> (w0, w1)
+    | ws -> Alcotest.failf "expected 2 worker rows, got %d" (List.length ws)
+  in
+  Alcotest.(check int) "w0 dispatches" 1 w0.Profile.w_dispatches;
+  feq "w0 busy" 2.0 w0.Profile.w_busy;
+  feq "w0 idle" 3.0 w0.Profile.w_idle;
+  feq "w1 busy" 4.0 w1.Profile.w_busy;
+  feq "w1 util" 0.8 w1.Profile.w_utilization;
+  Alcotest.(check (option int)) "b placed on w1" (Some 1)
+    (row p "b").Profile.r_worker
+
+(* --- real installer schedules --- *)
+
+let repo =
+  Repository.create
+    [
+      make_pkg "mpileaks"
+        [ version "1.0"; depends_on "mpi"; depends_on "callpath" ];
+      make_pkg "callpath" [ version "1.0"; depends_on "dyninst" ];
+      make_pkg "dyninst" [ version "8.2"; depends_on "libelf" ];
+      make_pkg "libelf" [ version "0.8.13" ];
+      make_pkg "mpich" [ version "3.0.4"; provides "mpi@:3" ];
+    ]
+
+let compilers = Compilers.create [ Compilers.toolchain "gcc" "4.9.2" ]
+
+let concretize ?(ctx = Concretizer.make_ctx ~compilers repo) spec =
+  match Concretizer.concretize_string ctx spec with
+  | Ok c -> c
+  | Error e -> Alcotest.failf "concretize %s: %s" spec e
+
+let profile_install ?(repo = repo) ?(compilers = compilers) ~jobs specs =
+  let inst = Installer.create ~vfs:(Vfs.create ()) ~repo ~compilers () in
+  match Installer.install_parallel inst ~jobs specs with
+  | Error e -> Alcotest.failf "install_parallel -j%d: %s" jobs e
+  | Ok r -> (
+      if r.Installer.pr_failures <> [] then
+        Alcotest.failf "-j%d: %s" jobs
+          (Installer.failures_to_string r.Installer.pr_failures);
+      match Profile.analyze (Installer.profile_input ~specs r) with
+      | Ok p -> p
+      | Error e -> Alcotest.failf "analyze: %s" e)
+
+let installer_identities () =
+  let spec = concretize "mpileaks ^mpich" in
+  let n = Concrete.node_count spec in
+  (* -j1: makespan is the serial time *)
+  let p1 = profile_install ~jobs:1 [ spec ] in
+  feq "-j1 makespan = serial" p1.Profile.p_serial_seconds p1.Profile.p_makespan;
+  (* jobs >= nodes is the -j∞ (ASAP) schedule: makespan = CP exactly *)
+  let pinf = profile_install ~jobs:n [ spec ] in
+  feq "-j∞ makespan = CP" pinf.Profile.p_cp_seconds pinf.Profile.p_makespan;
+  feq "-j∞ efficiency = 1" 1.0 pinf.Profile.p_efficiency;
+  (* the CP is a property of the DAG, not the schedule *)
+  feq "cp invariant across -j" p1.Profile.p_cp_seconds
+    pinf.Profile.p_cp_seconds;
+  (* critical nodes have exactly zero slack, and the path is one chain *)
+  List.iter
+    (fun r ->
+      if r.Profile.r_critical then feq (r.Profile.r_id ^ " slack") 0.0 r.Profile.r_slack)
+    pinf.Profile.p_rows;
+  Alcotest.(check bool) "cp nonempty" true (pinf.Profile.p_cp_nodes <> [])
+
+let fig10_suite_batch () =
+  (* the bench's seven-package batch through the universe repository *)
+  let repo = Universe.repository () in
+  let compilers = Universe.compilers in
+  let ctx =
+    Concretizer.make_ctx ~config:Universe.default_config ~compilers repo
+  in
+  let specs =
+    List.map
+      (fun name -> concretize ~ctx name)
+      [ "libelf"; "libpng"; "mpileaks"; "libdwarf"; "python"; "dyninst"; "lapack" ]
+  in
+  let p4 = profile_install ~repo ~compilers ~jobs:4 specs in
+  let n = List.length p4.Profile.p_rows in
+  Alcotest.(check bool) "suite merges into >7 nodes" true (n > 7);
+  Alcotest.(check bool) "efficiency <= 1" true
+    (p4.Profile.p_efficiency <= 1.0 +. 1e-9);
+  Alcotest.(check bool) "speedup > 1 at -j4" true (p4.Profile.p_speedup > 1.0);
+  let pinf = profile_install ~repo ~compilers ~jobs:n specs in
+  feq "suite -j∞ makespan = CP" pinf.Profile.p_cp_seconds
+    pinf.Profile.p_makespan;
+  feq "suite cp invariant" p4.Profile.p_cp_seconds pinf.Profile.p_cp_seconds
+
+let rendering_determinism () =
+  let spec = concretize "mpileaks ^mpich" in
+  let render () =
+    let p = profile_install ~jobs:2 [ spec ] in
+    (Profile.to_string p, Profile.to_jsonl p, Json.to_string (Profile.to_json p))
+  in
+  let a = render () and b = render () in
+  Alcotest.(check bool) "report byte-identical" true (a = b);
+  let text, jsonl, _ = a in
+  Alcotest.(check bool) "timeline legend present" true
+    (Astring.String.is_infix ~affix:"a=" text);
+  (* every JSONL line parses and carries a profile.* event type *)
+  List.iter
+    (fun line ->
+      if line <> "" then
+        match Json.of_string line with
+        | Error e -> Alcotest.failf "bad JSONL line: %s" e
+        | Ok j -> (
+            match Option.bind (Json.member "ev" j) Json.get_string with
+            | Some ("profile.summary" | "profile.node" | "profile.worker") ->
+                ()
+            | _ -> Alcotest.failf "unexpected event in %s" line))
+    (String.split_on_char '\n' jsonl)
+
+let obs_jsonl () =
+  let record () =
+    let obs = Obs.create () in
+    Obs.span obs ~cat:"demo" "outer" (fun () ->
+        Obs.span obs "inner" (fun () -> Obs.count obs "widgets" 2);
+        Obs.observe obs "sizes" 4.0);
+    Obs.to_jsonl obs
+  in
+  let log = record () in
+  Alcotest.(check string) "byte-identical across runs" log (record ());
+  let lines = List.filter (fun l -> l <> "") (String.split_on_char '\n' log) in
+  (match Json.of_string (List.hd lines) with
+  | Ok j ->
+      Alcotest.(check (option string)) "meta first" (Some "meta")
+        (Option.bind (Json.member "ev" j) Json.get_string)
+  | Error e -> Alcotest.failf "meta line: %s" e);
+  let evs =
+    List.filter_map
+      (fun l ->
+        match Json.of_string l with
+        | Ok j -> Option.bind (Json.member "ev" j) Json.get_string
+        | Error _ -> None)
+      lines
+  in
+  Alcotest.(check int) "span begins" 2
+    (List.length (List.filter (( = ) "span_begin") evs));
+  Alcotest.(check int) "span ends" 2
+    (List.length (List.filter (( = ) "span_end") evs));
+  Alcotest.(check bool) "counter summary present" true
+    (List.mem "counter" evs);
+  Alcotest.(check bool) "histogram summary present" true
+    (List.mem "histogram" evs)
+
+(* --- the baseline gate --- *)
+
+let doc makespan wall =
+  Json.Obj
+    [
+      ("format", Json.Int 1);
+      ( "workloads",
+        Json.List
+          [
+            Json.Obj
+              [
+                ("workload", Json.String "w");
+                ("nodes", Json.Int 7);
+                ("makespan_seconds", Json.fixed makespan);
+                ("wall_ms", Json.fixed wall);
+              ];
+          ] );
+    ]
+
+let baseline_tolerances () =
+  let base = doc 100.0 5.0 in
+  (* +10% makespan: fires *)
+  let f = Baseline.compare_docs ~baseline:base ~current:(doc 110.0 5.0) in
+  (match Baseline.regressions f with
+  | [ r ] ->
+      Alcotest.(check string) "path" "workloads[0].makespan_seconds"
+        r.Baseline.f_path
+  | l -> Alcotest.failf "expected 1 regression, got %d" (List.length l));
+  (* +1%: within tolerance *)
+  Alcotest.(check int) "+1%% passes" 0
+    (List.length
+       (Baseline.regressions
+          (Baseline.compare_docs ~baseline:base ~current:(doc 101.0 5.0))));
+  (* -10%: an improvement, never a failure *)
+  let f = Baseline.compare_docs ~baseline:base ~current:(doc 90.0 5.0) in
+  Alcotest.(check int) "improvement not a regression" 0
+    (List.length (Baseline.regressions f));
+  Alcotest.(check bool) "improvement reported" true
+    (List.exists (fun x -> x.Baseline.f_verdict = Baseline.Improvement) f);
+  (* wall_ms is informational: a 100x change is ignored *)
+  Alcotest.(check int) "wall_ms ignored" 0
+    (List.length (Baseline.compare_docs ~baseline:base ~current:(doc 100.0 500.0)))
+
+let baseline_shapes () =
+  let base = doc 100.0 5.0 in
+  (* an exact-match metric changing fails the gate *)
+  let renodes =
+    match doc 100.0 5.0 with
+    | Json.Obj [ f; ("workloads", Json.List [ Json.Obj fields ]) ] ->
+        Json.Obj
+          [
+            f;
+            ( "workloads",
+              Json.List
+                [
+                  Json.Obj
+                    (List.map
+                       (fun (k, v) ->
+                         if k = "nodes" then (k, Json.Int 8) else (k, v))
+                       fields);
+                ] );
+          ]
+    | _ -> Alcotest.fail "unexpected doc shape"
+  in
+  Alcotest.(check bool) "exact metric change is a failure" true
+    (Baseline.regressions (Baseline.compare_docs ~baseline:base ~current:renodes)
+    <> []);
+  (* a missing field fails the gate *)
+  let missing = Json.Obj [ ("format", Json.Int 1) ] in
+  Alcotest.(check bool) "missing field is a failure" true
+    (Baseline.regressions
+       (Baseline.compare_docs ~baseline:base ~current:missing)
+    <> [])
+
+let json_fixed () =
+  (* the canonical fixed-point formatter kills accumulated float noise *)
+  Alcotest.(check string) "noise rounded" "14.36"
+    (Json.to_string (Json.fixed 14.360000000000001));
+  Alcotest.(check string) "microsecond grid" "0.000001"
+    (Json.to_string (Json.fixed 1e-6));
+  Alcotest.(check string) "decimals override" "3.142"
+    (Json.to_string (Json.fixed ~decimals:3 3.14159))
+
+let () =
+  Alcotest.run "profile"
+    [
+      ( "critical path",
+        [
+          Alcotest.test_case "chain" `Quick chain;
+          Alcotest.test_case "diamond" `Quick diamond;
+          Alcotest.test_case "fan" `Quick fan;
+          Alcotest.test_case "invalid inputs" `Quick bad_inputs;
+          Alcotest.test_case "schedule attribution" `Quick
+            schedule_attribution;
+        ] );
+      ( "installer schedules",
+        [
+          Alcotest.test_case "-j1 and -j∞ identities" `Quick
+            installer_identities;
+          Alcotest.test_case "fig10 suite batch" `Quick fig10_suite_batch;
+          Alcotest.test_case "rendering determinism" `Quick
+            rendering_determinism;
+        ] );
+      ( "structured events",
+        [ Alcotest.test_case "Obs.to_jsonl" `Quick obs_jsonl ] );
+      ( "baseline gate",
+        [
+          Alcotest.test_case "tolerances and directions" `Quick
+            baseline_tolerances;
+          Alcotest.test_case "shape changes fail" `Quick baseline_shapes;
+          Alcotest.test_case "Json.fixed canonicalization" `Quick json_fixed;
+        ] );
+    ]
