@@ -768,7 +768,7 @@ let concretize_doc () =
   let repo = Universe.repository () in
   let config = Universe.default_config in
   let compilers = Universe.compilers in
-  let fingerprint = Ccache.fingerprint ~repo ~compilers ~config () in
+  let cx = Ccache.context ~repo ~compilers ~config () in
   let newest name =
     match Repository.find repo name with
     | Some p -> (
@@ -804,7 +804,7 @@ let concretize_doc () =
       (fun s ->
         let ast = parse s in
         let obs = Obs.create () in
-        let cache = Ccache.create ~obs ~fingerprint () in
+        let cache = Ccache.create ~obs ~context:cx () in
         let cold, cold_iters = solve ~obs ~cache:(Some cache) ast in
         let warm, warm_iters = solve ~obs ~cache:(Some cache) ast in
         let fresh, _ = solve ~obs:(Obs.create ()) ~cache:None ast in
@@ -821,7 +821,7 @@ let concretize_doc () =
      sub-DAG pins seeded by earlier ones, and every result must still be
      byte-identical to its isolated cold solve *)
   let shared_obs = Obs.create () in
-  let shared_cache = Ccache.create ~obs:shared_obs ~fingerprint () in
+  let shared_cache = Ccache.create ~obs:shared_obs ~context:cx () in
   let seeded_iters =
     List.map
       (fun (s, ast, cold, _, _) ->
@@ -1025,6 +1025,215 @@ let solve_doc () =
     (List.length uc.I.oc_core);
   doc
 
+(* `main.exe store` — the sharded-store benchmark. Three scenarios:
+   - installs: the seven Fig. 10/11 packages installed sequentially,
+     accounting the index bytes the sharded layout actually wrote per
+     install against what the legacy whole-file rewrite (index.json
+     re-rendered after every node attempt) would have written. Fails
+     unless sharding reduced total index traffic.
+   - warm queries: a fresh installer loads the sharded index and serves
+     ~10k find_satisfying queries; counts are asserted deterministic,
+     wall time is informational.
+   - ccache survival: the 21-workload concretization suite is cached,
+     one leaf recipe (libdwarf — not a virtual provider) is edited, and
+     the cache is reloaded under the edited universe. Fails unless the
+     edit evicts the entries whose closure contains libdwarf AND leaves
+     unrelated entries live — the point of per-entry Merkle
+     fingerprints. *)
+let store_doc () =
+  let module Obs = Ospack_obs.Obs in
+  let module Json = Ospack_json.Json in
+  let module Vfs = Ospack_vfs.Vfs in
+  let module Installer = Ospack_store.Installer in
+  let module Database = Ospack_store.Database in
+  let module Ccache = Ospack_concretize.Ccache in
+  let module Package = Ospack_package.Package in
+  let repo = Universe.repository () in
+  let config = Universe.default_config in
+  let compilers = Universe.compilers in
+  let cctx =
+    Concretizer.make_ctx ~config ~obs:(Obs.create ()) ~compilers repo
+  in
+  let parse s =
+    match Parser.parse s with
+    | Ok a -> a
+    | Error e -> failwith (s ^ ": " ^ e)
+  in
+  let concrete s =
+    match Concretizer.concretize cctx (parse s) with
+    | Ok c -> c
+    | Error e -> failwith (s ^ ": " ^ Ospack_concretize.Cerror.to_string e)
+  in
+  (* --- index bytes per install: sharded vs legacy whole-file rewrite --- *)
+  let vfs = Vfs.create () in
+  let inst = Installer.create ~config ~vfs ~repo ~compilers () in
+  let shadow = Database.create () in
+  let install_rows, sharded_total, legacy_total =
+    List.fold_left
+      (fun (rows, stotal, ltotal) (name, _, _) ->
+        let before = Installer.index_bytes_written inst in
+        let outcomes =
+          match Installer.install inst (concrete name) with
+          | Ok o -> o
+          | Error e -> failwith (name ^ ": install failed: " ^ e)
+        in
+        let sharded = Installer.index_bytes_written inst - before in
+        (* the legacy layout re-rendered the whole index after every node
+           attempt; reconstruct exactly those bytes *)
+        let legacy =
+          List.fold_left
+            (fun acc (o : Installer.outcome) ->
+              Database.add shadow o.Installer.o_record;
+              acc
+              + String.length
+                  (Json.to_string ~indent:2 (Database.to_json shadow)))
+            0 outcomes
+        in
+        let row =
+          Json.Obj
+            [
+              ("spec", Json.String name);
+              ("nodes", Json.Int (List.length outcomes));
+              ("index_bytes_sharded", Json.Int sharded);
+              ("index_bytes_legacy", Json.Int legacy);
+            ]
+        in
+        (row :: rows, stotal + sharded, ltotal + legacy))
+      ([], 0, 0) fig10_packages
+  in
+  let install_rows = List.rev install_rows in
+  if sharded_total >= legacy_total then
+    failwith
+      (Printf.sprintf
+         "sharded index wrote %d bytes vs %d legacy — sharding must reduce \
+          index traffic"
+         sharded_total legacy_total);
+  (* --- ~10k-query warm index traffic against a freshly loaded store --- *)
+  let fresh = Installer.create ~config ~vfs ~repo ~compilers () in
+  let load_result, load_secs = time_it (fun () -> Installer.load_index fresh) in
+  let loaded =
+    match load_result with
+    | Ok n -> n
+    | Error e -> failwith ("load_index: " ^ e)
+  in
+  let db = Installer.database fresh in
+  if loaded <> Database.count (Installer.database inst) then
+    failwith "sharded reload lost records";
+  let queries = List.map (fun (n, _, _) -> parse n) fig10_packages in
+  let rounds = 10_000 / List.length queries in
+  let hits = ref 0 in
+  let (), query_secs =
+    time_it (fun () ->
+        for _ = 1 to rounds do
+          List.iter
+            (fun q -> hits := !hits + List.length (Database.find_satisfying db q))
+            queries
+        done)
+  in
+  let query_count = rounds * List.length queries in
+  if !hits < query_count then
+    failwith "warm queries must hit every installed root";
+  (* --- ccache survival across a single-recipe edit --- *)
+  let newest name =
+    match Repository.find repo name with
+    | Some p -> (
+        match Ospack_package.Package.known_versions p with
+        | v :: _ -> Version.to_string v
+        | [] -> failwith (name ^ ": no versions"))
+    | None -> failwith ("unknown package " ^ name)
+  in
+  let workloads =
+    List.concat_map
+      (fun (name, _, _) ->
+        [ name; name ^ " %gcc"; Printf.sprintf "%s@%s" name (newest name) ])
+      fig10_packages
+  in
+  let cx0 = Ccache.context ~repo ~compilers ~config () in
+  let cache = Ccache.create ~context:cx0 () in
+  List.iter
+    (fun s ->
+      match Concretizer.concretize_cached ~cache cctx (parse s) with
+      | Ok _ -> ()
+      | Error e -> failwith (s ^ ": " ^ Ospack_concretize.Cerror.to_string e))
+    workloads;
+  let stored = Ccache.length cache in
+  let cvfs = Vfs.create () in
+  (match Ccache.save cache cvfs ~path:"/bench/ccache.json" with
+  | Ok () -> ()
+  | Error e -> failwith ("ccache save: " ^ e));
+  (* edit one leaf recipe that provides no virtual: add a version *)
+  let edited = "libdwarf" in
+  let edited_repo =
+    Repository.create ~name:(Repository.name repo)
+      (List.map
+         (fun p ->
+           if p.Package.p_name = edited then
+             Package.override p [ Package.version "99.9" ]
+           else p)
+         (Repository.all_packages repo))
+  in
+  let cobs = Obs.create () in
+  let cx1 = Ccache.context ~repo:edited_repo ~compilers ~config () in
+  let reloaded = Ccache.load ~obs:cobs ~context:cx1 cvfs ~path:"/bench/ccache.json" in
+  let survivors = Ccache.length reloaded in
+  let evicted = Obs.counter cobs "ccache.invalidations" in
+  if survivors <= 0 then
+    failwith "a single-recipe edit must leave unrelated ccache entries live";
+  if evicted <= 0 then
+    failwith "editing libdwarf must evict the entries whose closure holds it";
+  if survivors + evicted <> stored then
+    failwith
+      (Printf.sprintf "ccache accounting mismatch: %d + %d <> %d" survivors
+         evicted stored);
+  let doc =
+    Json.Obj
+      [
+        ("format", Json.Int 1);
+        ("installs", Json.List install_rows);
+        ( "index",
+          Json.Obj
+            [
+              ("records", Json.Int (Database.count db));
+              ("index_bytes_sharded", Json.Int sharded_total);
+              ("index_bytes_legacy", Json.Int legacy_total);
+              ("bytes_ratio_pct", Json.Int (100 * sharded_total / legacy_total));
+            ] );
+        ( "warm_queries",
+          Json.Obj
+            [
+              ("records_loaded", Json.Int loaded);
+              ( "load",
+                Json.Obj
+                  [ ("wall_ms", Json.fixed ~decimals:3 (1000.0 *. load_secs)) ]
+              );
+              ("count", Json.Int query_count);
+              ("hits", Json.Int !hits);
+              ( "serve",
+                Json.Obj
+                  [ ("wall_ms", Json.fixed ~decimals:3 (1000.0 *. query_secs)) ]
+              );
+            ] );
+        ( "ccache",
+          Json.Obj
+            [
+              ("entries", Json.Int stored);
+              ("edited_recipe", Json.String edited);
+              ("survivors", Json.Int survivors);
+              ("evicted", Json.Int evicted);
+            ] );
+      ]
+  in
+  Printf.printf
+    "installed %d packages (%d records)\n\
+     index traffic: %d bytes sharded vs %d legacy (%d%%)\n\
+     warm queries: %d served, %d hits\n\
+     ccache: %d entries; editing %s evicted %d, %d survived\n"
+    (List.length fig10_packages) (Database.count db) sharded_total
+    legacy_total
+    (100 * sharded_total / legacy_total)
+    query_count !hits stored edited evicted survivors;
+  doc
+
 let default_run () =
   Printf.printf
     "ospack benchmark harness — reproduces every table and figure of the \
@@ -1061,6 +1270,7 @@ let bench_modes =
     ("parallel", parallel_doc, "BENCH_parallel.json");
     ("concretize", concretize_doc, "BENCH_concretize.json");
     ("solve", solve_doc, "BENCH_solve.json");
+    ("store", store_doc, "BENCH_store.json");
   ]
 
 (* the virtual-time leaves a per-node cost increase scales; counts,
@@ -1090,8 +1300,8 @@ let usage () =
   prerr_endline
     "usage: main.exe [MODE [PATH] [--check | --update-baselines] \
      [--inject-cost-pct P]]\n\
-     modes: obs | parallel | concretize | solve (no mode: the full \
-     table/figure run)\n\
+     modes: obs | parallel | concretize | solve | store (no mode: the \
+     full table/figure run)\n\
      MODE PATH            write the document to an explicit scratch PATH\n\
      MODE --check         diff the freshly generated document against the \
      committed baseline; never writes\n\

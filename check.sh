@@ -123,6 +123,23 @@ grep -q 'unsat core (clauses backend):' "$sv_tmp/unsat.out"
 # 21-workload suite plus the divergence/unsat contract
 ./_build/default/bench/main.exe solve --check > /dev/null
 
+echo "== store smoke: crash-consistency torture at sampled kill points, check BENCH_store.json"
+# the torture command kills an install at filesystem write barriers,
+# recovers the store with a fresh installer, and verifies the reloaded
+# index is a prefix of the completed store with no unindexed orphans;
+# sampled here (every 13th barrier, serial and -j4) — the full
+# every-boundary sweep runs in the test suite (test_torture)
+st_tmp=_build/store-smoke
+mkdir -p "$st_tmp"
+./_build/default/bin/spack.exe torture --every 13 mpileaks > "$st_tmp/torture-j1.out"
+grep -q 'kill point' "$st_tmp/torture-j1.out"
+./_build/default/bin/spack.exe torture -j 4 --every 13 mpileaks > "$st_tmp/torture-j4.out"
+grep -q 'kill point' "$st_tmp/torture-j4.out"
+# the bench asserts sharded index traffic beats the legacy whole-file
+# rewrite and that a single-recipe edit leaves unrelated ccache entries
+# live (per-entry Merkle invalidation)
+./_build/default/bench/main.exe store --check > /dev/null
+
 echo "== checking for stray _build files in git"
 # nothing under _build/ may be tracked, and none may appear in git status
 # (deletions are fine — that is _build being purged, not committed)

@@ -3,6 +3,7 @@ module Printer = Ospack_spec.Printer
 module Concrete = Ospack_spec.Concrete
 module Repository = Ospack_package.Repository
 module Package = Ospack_package.Package
+module Provider_index = Ospack_package.Provider_index
 module Compilers = Ospack_config.Compilers
 module Config = Ospack_config.Config
 module Version = Ospack_version.Version
@@ -11,13 +12,26 @@ module Hex = Ospack_hash.Hex
 module Json = Ospack_json.Json
 module Vfs = Ospack_vfs.Vfs
 module Obs = Ospack_obs.Obs
+module StrSet = Set.Make (String)
 
 (* Bump when the concretizer's semantics change: a cache produced by an
    older algorithm must not be trusted by a newer one. *)
 let algorithm_version = "greedy-fixpoint-1"
 
+(* The validation context: a base fingerprint over the inputs shared by
+   every entry (algorithm+backend tag, repository name, toolchains,
+   configuration — everything except package recipes), plus memoized
+   per-package identity hashes and the provider index for the per-entry
+   Merkle fingerprints. *)
+type context = {
+  cx_base : string;
+  cx_repo : Repository.t;
+  cx_identity : (string, string) Hashtbl.t;
+  cx_providers : Provider_index.t Lazy.t;
+}
+
 type t = {
-  cc_fingerprint : string;
+  cc_context : context;
   cc_entries : (string, Concrete.t) Hashtbl.t;
       (* authoritative: canonical abstract spec -> its concretization *)
   cc_seeds : (string, Concrete.node) Hashtbl.t;
@@ -28,15 +42,12 @@ type t = {
   cc_obs : Obs.t;
 }
 
-let fingerprint ?(backend = "greedy") ~repo ~compilers ~config () =
+let context ?(backend = "greedy") ~repo ~compilers ~config () =
   let ctx = Sha256.init () in
   (* the backend is part of the algorithm tag: greedy and clause-solver
      entries must never cross-contaminate *)
   Sha256.feed ctx ("algorithm " ^ algorithm_version ^ "+" ^ backend ^ "\n");
   Sha256.feed ctx ("repo " ^ Repository.name repo ^ "\n");
-  List.iter
-    (fun pkg -> Sha256.feed ctx (Package.identity_string pkg))
-    (Repository.all_packages repo);
   List.iter
     (fun tc ->
       Sha256.feed ctx
@@ -55,17 +66,74 @@ let fingerprint ?(backend = "greedy") ~repo ~compilers ~config () =
       let v = Option.value (Config.get config key) ~default:"" in
       Sha256.feed ctx (Printf.sprintf "config %s=%s\n" key v))
     (Config.keys config);
+  {
+    cx_base = Hex.encode (Sha256.finalize ctx);
+    cx_repo = repo;
+    cx_identity = Hashtbl.create 64;
+    cx_providers = lazy (Provider_index.build repo);
+  }
+
+let base_fingerprint cx = cx.cx_base
+
+let identity_hash cx name =
+  match Hashtbl.find_opt cx.cx_identity name with
+  | Some h -> h
+  | None ->
+      let h =
+        match Repository.find cx.cx_repo name with
+        | Some pkg ->
+            let c = Sha256.init () in
+            Sha256.feed c (Package.identity_string pkg);
+            Hex.encode (Sha256.finalize c)
+        | None -> "absent"
+      in
+      Hashtbl.add cx.cx_identity name h;
+      h
+
+(* The per-entry Merkle fingerprint: a hash over the identity hashes of
+   exactly the packages in the entry's dependency closure, plus — for
+   each virtual interface the closure uses — the identity of every
+   current provider of that interface (a new, removed, or edited
+   provider can change which one concretization picks, even if the
+   stored DAG never contained it). Editing a recipe therefore
+   invalidates only the entries whose closure (or provider set) can see
+   the edit. *)
+let entry_fingerprint cx concrete =
+  let ctx = Sha256.init () in
+  Sha256.feed ctx ("base " ^ cx.cx_base ^ "\n");
+  let virtuals = ref StrSet.empty in
+  List.iter
+    (fun (n : Concrete.node) ->
+      Sha256.feed ctx
+        (Printf.sprintf "node %s %s\n" n.Concrete.name
+           (identity_hash cx n.Concrete.name));
+      List.iter
+        (fun (v, _) -> virtuals := StrSet.add v !virtuals)
+        n.Concrete.provided)
+    (Concrete.nodes concrete);
+  StrSet.iter
+    (fun v ->
+      let providers =
+        Provider_index.providers (Lazy.force cx.cx_providers) v
+        |> List.map (fun (e : Provider_index.entry) ->
+               e.Provider_index.e_provider ^ "="
+               ^ identity_hash cx e.Provider_index.e_provider)
+      in
+      Sha256.feed ctx
+        (Printf.sprintf "virtual %s providers %s\n" v
+           (String.concat "," providers)))
+    !virtuals;
   Hex.encode (Sha256.finalize ctx)
 
-let create ?(obs = Obs.disabled) ~fingerprint () =
+let create ?(obs = Obs.disabled) ~context:cx () =
   {
-    cc_fingerprint = fingerprint;
+    cc_context = cx;
     cc_entries = Hashtbl.create 64;
     cc_seeds = Hashtbl.create 64;
     cc_obs = obs;
   }
 
-let fingerprint_of t = t.cc_fingerprint
+let context_of t = t.cc_context
 
 let key_of ast = Printer.to_string ast
 
@@ -91,67 +159,79 @@ let seeds t =
 
 let length t = Hashtbl.length t.cc_entries
 
-let format_version = 1
+let format_version = 2
 
 let to_json t =
   let entries =
     Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.cc_entries []
     |> List.sort (fun (a, _) (b, _) -> String.compare a b)
     |> List.map (fun (k, v) ->
-           Json.Obj [ ("spec", Json.String k); ("concrete", Concrete.to_json v) ])
+           Json.Obj
+             [
+               ("spec", Json.String k);
+               ("merkle", Json.String (entry_fingerprint t.cc_context v));
+               ("concrete", Concrete.to_json v);
+             ])
   in
   Json.Obj
     [
       ("format", Json.Int format_version);
-      ("fingerprint", Json.String t.cc_fingerprint);
+      ("base", Json.String t.cc_context.cx_base);
       ("entries", Json.List entries);
     ]
 
-let of_json ?(obs = Obs.disabled) ~fingerprint json =
-  let invalid () =
-    Obs.count obs "ccache.invalidations" 1;
-    create ~obs ~fingerprint ()
-  in
+(* Validation is per entry: a stored entry survives iff its recorded
+   Merkle fingerprint still equals the one its concrete DAG hashes to
+   under the current context. [ccache.invalidations] counts evicted
+   entries — one per entry under a wholesale base/format mismatch too,
+   so the counter always means "entries lost". Seeds are harvested only
+   from surviving entries. *)
+let of_json ?(obs = Obs.disabled) ~context:cx json =
   let open Json in
-  match
-    ( Option.bind (member "format" json) get_int,
-      Option.bind (member "fingerprint" json) get_string,
-      Option.bind (member "entries" json) to_list )
-  with
-  | Some fmt, Some fp, Some entries
-    when fmt = format_version && fp = fingerprint -> (
-      let t = create ~obs ~fingerprint () in
-      try
-        List.iter
-          (fun e ->
-            match
-              ( Option.bind (member "spec" e) get_string,
-                member "concrete" e )
-            with
-            | Some key, Some cj -> (
-                match Concrete.of_json cj with
-                | Ok c ->
-                    Hashtbl.replace t.cc_entries key c;
-                    List.iter
-                      (fun (n : Concrete.node) ->
-                        Hashtbl.replace t.cc_seeds n.Concrete.name n)
-                      (Concrete.nodes c)
-                | Error _ -> raise Exit)
-            | _ -> raise Exit)
-          entries;
-        t
-      with Exit -> invalid ())
-  | _ -> invalid ()
+  let entries =
+    match Option.bind (member "entries" json) to_list with
+    | Some l -> l
+    | None -> []
+  in
+  let t = create ~obs ~context:cx () in
+  (match
+     ( Option.bind (member "format" json) get_int,
+       Option.bind (member "base" json) get_string )
+   with
+  | Some fmt, Some base when fmt = format_version && base = cx.cx_base ->
+      List.iter
+        (fun e ->
+          let evict () = Obs.count obs "ccache.invalidations" 1 in
+          match
+            ( Option.bind (member "spec" e) get_string,
+              Option.bind (member "merkle" e) get_string,
+              member "concrete" e )
+          with
+          | Some key, Some merkle, Some cj -> (
+              match Concrete.of_json cj with
+              | Ok c when entry_fingerprint cx c = merkle ->
+                  Hashtbl.replace t.cc_entries key c;
+                  List.iter
+                    (fun (n : Concrete.node) ->
+                      Hashtbl.replace t.cc_seeds n.Concrete.name n)
+                    (Concrete.nodes c)
+              | Ok _ | Error _ -> evict ())
+          | _ -> evict ())
+        entries
+  | _ ->
+      (* wrong format or base context: every stored entry is lost *)
+      Obs.count obs "ccache.invalidations" (max 1 (List.length entries)));
+  t
 
-let load ?(obs = Obs.disabled) ~fingerprint fs ~path =
+let load ?(obs = Obs.disabled) ~context:cx fs ~path =
   match Vfs.read_file fs path with
-  | Error _ -> create ~obs ~fingerprint ()
+  | Error _ -> create ~obs ~context:cx ()
   | Ok contents -> (
       match Json.of_string contents with
       | Error _ ->
           Obs.count obs "ccache.invalidations" 1;
-          create ~obs ~fingerprint ()
-      | Ok json -> of_json ~obs ~fingerprint json)
+          create ~obs ~context:cx ()
+      | Ok json -> of_json ~obs ~context:cx json)
 
 let save t fs ~path =
   let tmp = path ^ ".tmp" in

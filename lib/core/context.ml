@@ -54,11 +54,11 @@ let create ?config ?repo ?compilers ?fs ?scheme
   (match ccache_json with
   | None -> ()
   | Some json -> ignore (Vfs.write_file vfs ccache_path json));
-  let fingerprint =
-    Ccache.fingerprint ~backend:(Backends.to_string backend) ~repo ~compilers
+  let cx =
+    Ccache.context ~backend:(Backends.to_string backend) ~repo ~compilers
       ~config ()
   in
-  let ccache = Ccache.load ~obs ~fingerprint vfs ~path:ccache_path in
+  let ccache = Ccache.load ~obs ~context:cx vfs ~path:ccache_path in
   { vfs; config; repo; compilers; cctx; backend; installer; cache; ccache;
     ccache_path; obs; module_root = "/ospack/modules" }
 
@@ -81,14 +81,13 @@ let with_site_packages t site_pkgs =
       ~config:t.config ?cache:t.cache ~obs:t.obs ~vfs:t.vfs ~repo
       ~compilers:t.compilers ()
   in
-  (* the package universe changed, so the context fingerprint changes:
-     reloading under the new fingerprint discards any persisted entries
-     from the old universe (counted as an invalidation) *)
-  let fingerprint =
-    Ccache.fingerprint ~backend:(Backends.to_string t.backend) ~repo
+  (* the package universe changed, so the validation context changes:
+     reloading under the new context revalidates every persisted entry
+     per its Merkle fingerprint — entries whose closure the site layer
+     shadows are evicted (counted), untouched ones survive *)
+  let cx =
+    Ccache.context ~backend:(Backends.to_string t.backend) ~repo
       ~compilers:t.compilers ~config:t.config ()
   in
-  let ccache =
-    Ccache.load ~obs:t.obs ~fingerprint t.vfs ~path:t.ccache_path
-  in
+  let ccache = Ccache.load ~obs:t.obs ~context:cx t.vfs ~path:t.ccache_path in
   { t with repo; cctx; installer; ccache }

@@ -54,3 +54,10 @@ val to_json : t -> Ospack_json.Json.t
 
 val of_json : Ospack_json.Json.t -> (t, string) result
 (** Inverse of {!to_json}. *)
+
+val record_to_json : record -> Ospack_json.Json.t
+(** One record in the same shape {!to_json} uses — the unit the sharded
+    index persists, so a shard file is a plain [records] list. *)
+
+val record_of_json : Ospack_json.Json.t -> (record, string) result
+(** Inverse of {!record_to_json}. *)

@@ -10,6 +10,8 @@ module Config = Ospack_config.Config
 module Binary = Ospack_buildsim.Binary
 module Obs = Ospack_obs.Obs
 
+module SSet = Set.Make (String)
+
 type stats = {
   mutable st_built : int;
   mutable st_reused : int;
@@ -35,6 +37,13 @@ type t = {
   obs : Obs.t;
   st : stats;
   mutable total_seconds : float;
+  mutable dirty_shards : SSet.t;
+      (** shards holding records changed since the last successful
+          [save_index] — the only ones a save rewrites *)
+  mutable manifest_shards : SSet.t;
+      (** the shard set as last written to the on-disk manifest *)
+  mutable index_bytes : int;
+      (** cumulative bytes of index persistence (shards + manifest) *)
 }
 
 type outcome = {
@@ -72,6 +81,9 @@ let create ?(fs = Fsmodel.tmpfs) ?(scheme = Layout.Spack_default)
         st_externals = 0;
       };
     total_seconds = 0.0;
+    dirty_shards = SSet.empty;
+    manifest_shards = SSet.empty;
+    index_bytes = 0;
   }
 
 let stats t =
@@ -85,30 +97,307 @@ let stats t =
     st_externals = t.st.st_externals;
   }
 
-let index_path t = t.install_root ^ "/.spack-db/index.json"
+(* ------------------------------------------------------------------ *)
+(* The sharded on-disk index.
+
+   The database persists as hash-prefix shards under
+   [.spack-db/index/<2-hex>.json] plus a tiny manifest listing the live
+   shard set, every file written via write-then-rename. The installer
+   tracks which shards hold changed records ([dirty_shards]), so a node
+   attempt rewrites only its own shard — write cost proportional to the
+   change, not the store. A crash between a node's first durable write
+   and its index entry is covered by a pending marker
+   ([.spack-db/pending/<hash>], written before the prefix is touched and
+   removed after the shard is durable): recovery at [load_index] deletes
+   any prefix whose marker survived without an index entry, restoring
+   the invariant that the store on disk is always a prefix of the
+   completed store with no unindexed orphans. *)
+
+module Json = Ospack_json.Json
+
+let ( let* ) = Result.bind
+
+type store_error =
+  | Store_io of { se_action : string; se_path : string; se_cause : Vfs.error }
+  | Store_corrupt of { se_path : string; se_reason : string }
+
+let store_error_to_string = function
+  | Store_io { se_action; se_path; se_cause } ->
+      Printf.sprintf "db index: %s %s: %s" se_action se_path
+        (Vfs.error_to_string se_cause)
+  | Store_corrupt { se_path; se_reason } ->
+      Printf.sprintf "db index: %s: %s" se_path se_reason
+
+let db_root t = t.install_root ^ "/.spack-db"
+let index_path t = db_root t ^ "/index.json"
+let index_dir t = db_root t ^ "/index"
+let manifest_path t = index_dir t ^ "/manifest.json"
+let shard_path t key = index_dir t ^ "/" ^ key ^ ".json"
+let pending_dir t = db_root t ^ "/pending"
+let pending_path t hash = pending_dir t ^ "/" ^ hash
+
+let shard_format = 2
+let shard_of_hash hash = String.sub hash 0 2
+
+let mark_dirty t hash =
+  t.dirty_shards <- SSet.add (shard_of_hash hash) t.dirty_shards
+
+let add_record t record =
+  Database.add t.db record;
+  mark_dirty t record.Database.r_hash
+
+let index_bytes_written t = t.index_bytes
+
+(* the shard set a fully persisted store would have right now *)
+let live_shards t =
+  List.fold_left
+    (fun s (r : Database.record) -> SSet.add (shard_of_hash r.r_hash) s)
+    SSet.empty (Database.all t.db)
+
+let write_atomic t ~path content =
+  let tmp = path ^ ".tmp" in
+  match Vfs.write_file t.vfs tmp content with
+  | Error e -> Error (Store_io { se_action = "write"; se_path = tmp; se_cause = e })
+  | Ok () -> (
+      match Vfs.rename t.vfs ~src:tmp ~dst:path with
+      | Error e ->
+          Error (Store_io { se_action = "rename"; se_path = path; se_cause = e })
+      | Ok () ->
+          t.index_bytes <- t.index_bytes + String.length content;
+          Ok ())
+
+let shard_content t key =
+  let records =
+    List.filter
+      (fun (r : Database.record) -> shard_of_hash r.r_hash = key)
+      (Database.all t.db)
+  in
+  Json.to_string ~indent:2
+    (Json.Obj
+       [
+         ("format", Json.Int shard_format);
+         ("records", Json.List (List.map Database.record_to_json records));
+       ])
+  ^ "\n"
+
+let manifest_content shards =
+  Json.to_string ~indent:2
+    (Json.Obj
+       [
+         ("format", Json.Int shard_format);
+         ("shards",
+          Json.List (List.map (fun k -> Json.String k) (SSet.elements shards)));
+       ])
+  ^ "\n"
 
 let save_index t =
-  let content =
-    Ospack_json.Json.to_string ~indent:2 (Database.to_json t.db) ^ "\n"
+  let live = live_shards t in
+  let rec persist = function
+    | [] -> Ok ()
+    | key :: rest ->
+        let* () =
+          if SSet.mem key live then
+            write_atomic t ~path:(shard_path t key) (shard_content t key)
+          else (
+            (* the shard's last record was uninstalled: drop the file *)
+            match Vfs.remove t.vfs (shard_path t key) with
+            | Ok () | Error (Vfs.Not_found _) -> Ok ()
+            | Error e ->
+                Error
+                  (Store_io
+                     { se_action = "remove"; se_path = shard_path t key;
+                       se_cause = e }))
+        in
+        t.dirty_shards <- SSet.remove key t.dirty_shards;
+        persist rest
   in
-  match Vfs.write_file t.vfs (index_path t) content with
-  | Ok () -> ()
-  | Error e -> invalid_arg ("Installer: index: " ^ Vfs.error_to_string e)
+  let* () = persist (SSet.elements t.dirty_shards) in
+  if SSet.equal live t.manifest_shards then Ok ()
+  else
+    let* () = write_atomic t ~path:(manifest_path t) (manifest_content live) in
+    t.manifest_shards <- live;
+    Ok ()
+
+let parse_shard ~path content =
+  match Json.of_string content with
+  | Error e -> Error (Store_corrupt { se_path = path; se_reason = e })
+  | Ok j -> (
+      match Json.member "records" j with
+      | Some (Json.List items) ->
+          let rec go acc = function
+            | [] -> Ok (List.rev acc)
+            | item :: rest -> (
+                match Database.record_of_json item with
+                | Ok r -> go (r :: acc) rest
+                | Error e ->
+                    Error (Store_corrupt { se_path = path; se_reason = e }))
+          in
+          go [] items
+      | _ ->
+          Error
+            (Store_corrupt { se_path = path; se_reason = "missing records" }))
+
+let is_shard_name name =
+  String.length name = 7
+  && Filename.check_suffix name ".json"
+  && String.for_all
+       (fun c -> (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'))
+       (String.sub name 0 2)
+
+(* the shard key set worth reading: the manifest's list unioned with the
+   directory listing, so a crash between a new shard's rename and the
+   manifest update loses nothing (and a listed-but-missing shard —
+   removed before the manifest caught up — is tolerated by the reader) *)
+let stored_shards t =
+  let listed =
+    match Vfs.ls t.vfs (index_dir t) with
+    | Error _ -> SSet.empty
+    | Ok names ->
+        List.fold_left
+          (fun s n ->
+            if is_shard_name n then SSet.add (String.sub n 0 2) s else s)
+          SSet.empty names
+  in
+  match Vfs.read_file t.vfs (manifest_path t) with
+  | Error _ -> Ok listed
+  | Ok content -> (
+      match Json.of_string content with
+      | Error e ->
+          Error
+            (Store_corrupt { se_path = manifest_path t; se_reason = e })
+      | Ok j -> (
+          match Json.member "shards" j with
+          | Some (Json.List items) ->
+              Ok
+                (List.fold_left
+                   (fun s item ->
+                     match Json.get_string item with
+                     | Some k -> SSet.add k s
+                     | None -> s)
+                   listed items)
+          | _ ->
+              Error
+                (Store_corrupt
+                   { se_path = manifest_path t; se_reason = "missing shards" })))
+
+(* remove any prefix whose pending marker survived a crash without an
+   index entry — the partially materialized node of a killed install *)
+let recover_pending t =
+  match Vfs.ls t.vfs (pending_dir t) with
+  | Error _ -> 0
+  | Ok names ->
+      List.fold_left
+        (fun recovered hash ->
+          let marker = pending_path t hash in
+          let orphan =
+            match Database.find_by_hash t.db hash with
+            | Some _ -> false (* indexed: the marker is a stale leftover *)
+            | None -> (
+                match Vfs.read_file t.vfs marker with
+                | Error _ -> false
+                | Ok content ->
+                    let prefix = String.trim content in
+                    if prefix = "" then false
+                    else (
+                      (match Vfs.remove t.vfs ~recursive:true prefix with
+                      | Ok () | Error _ -> ());
+                      true))
+          in
+          (match Vfs.remove t.vfs marker with Ok () | Error _ -> ());
+          if orphan then recovered + 1 else recovered)
+        0 names
+
+let load_index_typed t =
+  let before = Database.count t.db in
+  (* 1. merge every stored shard *)
+  let* shards = stored_shards t in
+  let* shard_records =
+    SSet.fold
+      (fun key acc ->
+        let* acc = acc in
+        let path = shard_path t key in
+        match Vfs.read_file t.vfs path with
+        | Error (Vfs.Not_found _) -> Ok acc
+        | Error e ->
+            Error (Store_io { se_action = "read"; se_path = path; se_cause = e })
+        | Ok content ->
+            let* records = parse_shard ~path content in
+            Ok (acc @ records))
+      shards (Ok [])
+  in
+  List.iter (Database.add t.db) shard_records;
+  t.manifest_shards <- live_shards t;
+  (* 2. transparently migrate a legacy single-file index: merge its
+     records, rewrite them as shards, then retire the file (idempotent —
+     a crash mid-migration just re-runs it on the next load) *)
+  let* () =
+    match Vfs.read_file t.vfs (index_path t) with
+    | Error (Vfs.Not_found _) -> Ok ()
+    | Error e ->
+        Error
+          (Store_io
+             { se_action = "read"; se_path = index_path t; se_cause = e })
+    | Ok content -> (
+        match Json.of_string content with
+        | Error e ->
+            Error (Store_corrupt { se_path = index_path t; se_reason = e })
+        | Ok j -> (
+            match Database.of_json j with
+            | Error e ->
+                Error (Store_corrupt { se_path = index_path t; se_reason = e })
+            | Ok legacy ->
+                let records = Database.all legacy in
+                List.iter (add_record t) records;
+                let* () = save_index t in
+                match Vfs.remove t.vfs (index_path t) with
+                | Ok () | Error (Vfs.Not_found _) -> Ok ()
+                | Error e ->
+                    Error
+                      (Store_io
+                         { se_action = "remove"; se_path = index_path t;
+                           se_cause = e })))
+  in
+  (* 3. crash recovery: clear orphaned pending prefixes *)
+  let recovered = recover_pending t in
+  if recovered > 0 then Obs.count t.obs "db.recovered_orphans" recovered;
+  (* 4. heal the index scaffolding: a crash between a tmp write and its
+     rename strands the .tmp, and a crash between a shard rename and the
+     manifest update leaves the manifest stale. Readers tolerate both
+     (stored_shards unions the listing), but healing here makes a
+     recovered store byte-identical to one that never crashed. *)
+  let* () =
+    match Vfs.ls t.vfs (index_dir t) with
+    | Error _ -> Ok ()
+    | Ok names ->
+        List.fold_left
+          (fun acc n ->
+            let* () = acc in
+            if not (Filename.check_suffix n ".tmp") then Ok ()
+            else
+              let path = index_dir t ^ "/" ^ n in
+              match Vfs.remove t.vfs path with
+              | Ok () | Error (Vfs.Not_found _) -> Ok ()
+              | Error e ->
+                  Error
+                    (Store_io
+                       { se_action = "remove"; se_path = path; se_cause = e }))
+          (Ok ()) names
+  in
+  let live = live_shards t in
+  let* () =
+    let desired = manifest_content live in
+    let stale =
+      match Vfs.read_file t.vfs (manifest_path t) with
+      | Ok on_disk -> on_disk <> desired
+      | Error _ -> not (SSet.is_empty live)
+    in
+    if stale then write_atomic t ~path:(manifest_path t) desired else Ok ()
+  in
+  t.manifest_shards <- live;
+  Ok (Database.count t.db - before)
 
 let load_index t =
-  match Vfs.read_file t.vfs (index_path t) with
-  | Error (Vfs.Not_found _) -> Ok 0
-  | Error e -> Error (Vfs.error_to_string e)
-  | Ok content -> (
-      match Ospack_json.Json.of_string content with
-      | Error e -> Error ("db index: " ^ e)
-      | Ok j -> (
-          match Database.of_json j with
-          | Error e -> Error e
-          | Ok loaded ->
-              let records = Database.all loaded in
-              List.iter (Database.add t.db) records;
-              Ok (List.length records)))
+  Result.map_error store_error_to_string (load_index_typed t)
 
 let database t = t.db
 let vfs t = t.vfs
@@ -117,53 +406,11 @@ let install_root t = t.install_root
 let prefix_of t spec name =
   Layout.node_path t.scheme ~root:t.install_root spec name
 
-let ( let* ) = Result.bind
-
-(* Populate a vendor prefix with minimal self-contained artifacts so that
-   dependents' RPATH resolution works against it. Idempotent. *)
-let ensure_external_artifacts t name prefix =
-  let lib = Builder.installed_library ~prefix ~package:name in
-  if not (Vfs.is_file t.vfs lib) then begin
-    let write path content =
-      match Vfs.write_file t.vfs path content with
-      | Ok () -> ()
-      | Error e ->
-          invalid_arg ("Installer: external prefix: " ^ Vfs.error_to_string e)
-    in
-    write lib
-      (Binary.serialize
-         (Binary.make ~kind:Binary.Lib
-            ~soname:(Binary.soname_for_package name)
-            ~needed:[] ~rpaths:[]));
-    write
-      (Builder.installed_executable ~prefix ~package:name)
-      (Binary.serialize
-         (Binary.make ~kind:Binary.Exe ~soname:name
-            ~needed:[ Binary.soname_for_package name ]
-            ~rpaths:[ prefix ^ "/lib" ]));
-    write (prefix ^ "/include/" ^ name ^ ".h") ("/* vendor " ^ name ^ " */")
-  end
-
-let external_record t sub name ~explicit =
-  match Policy.external_for t.config ~package:name with
-  | Some (ext_spec, prefix) when Concrete.satisfies sub ext_spec ->
-      ensure_external_artifacts t name prefix;
-      Some
-        {
-          Database.r_spec = sub;
-          r_hash = Concrete.root_hash sub;
-          r_prefix = prefix;
-          r_explicit = explicit;
-          r_external = true;
-          r_build_seconds = 0.0;
-        }
-  | _ -> None
-
 (* Typed per-node errors: the builder's own error type for build
    failures, a rendered message for everything else (cache extraction,
-   missing package definitions). The parallel scheduler aggregates these
-   into a multi-failure report; the serial path renders them to the
-   historical strings. *)
+   missing package definitions, vendor-prefix and provenance writes).
+   The parallel scheduler aggregates these into a multi-failure report;
+   the serial path renders them to the historical strings. *)
 type node_error =
   | Build_failure of Builder.error
   | Install_failure of string
@@ -171,6 +418,75 @@ type node_error =
 let node_error_to_string = function
   | Build_failure e -> Builder.error_to_string e
   | Install_failure msg -> msg
+
+(* Populate a vendor prefix with minimal self-contained artifacts so that
+   dependents' RPATH resolution works against it. Idempotent. *)
+let ensure_external_artifacts t name prefix =
+  let lib = Builder.installed_library ~prefix ~package:name in
+  if Vfs.is_file t.vfs lib then Ok ()
+  else
+    let write path content =
+      Result.map_error
+        (fun e ->
+          Install_failure
+            (Printf.sprintf "external prefix %s: %s" name
+               (Vfs.error_to_string e)))
+        (Vfs.write_file t.vfs path content)
+    in
+    let* () =
+      write lib
+        (Binary.serialize
+           (Binary.make ~kind:Binary.Lib
+              ~soname:(Binary.soname_for_package name)
+              ~needed:[] ~rpaths:[]))
+    in
+    let* () =
+      write
+        (Builder.installed_executable ~prefix ~package:name)
+        (Binary.serialize
+           (Binary.make ~kind:Binary.Exe ~soname:name
+              ~needed:[ Binary.soname_for_package name ]
+              ~rpaths:[ prefix ^ "/lib" ]))
+    in
+    write (prefix ^ "/include/" ^ name ^ ".h") ("/* vendor " ^ name ^ " */")
+
+let external_record t sub name ~explicit =
+  match Policy.external_for t.config ~package:name with
+  | Some (ext_spec, prefix) when Concrete.satisfies sub ext_spec ->
+      let* () = ensure_external_artifacts t name prefix in
+      Ok
+        (Some
+           {
+             Database.r_spec = sub;
+             r_hash = Concrete.root_hash sub;
+             r_prefix = prefix;
+             r_explicit = explicit;
+             r_external = true;
+             r_build_seconds = 0.0;
+           })
+  | _ -> Ok None
+
+(* The pending-marker intent log: written (one atomic file) before a
+   node's prefix is touched, removed only after the node's shard is
+   durable. The marker body is the prefix path, so recovery can delete a
+   partially materialized prefix without recomputing the layout. *)
+let write_pending t ~hash ~prefix =
+  Result.map_error
+    (fun e ->
+      Install_failure
+        (Printf.sprintf "pending marker %s: %s" hash (Vfs.error_to_string e)))
+    (Vfs.write_file t.vfs (pending_path t hash) (prefix ^ "\n"))
+
+let clear_pending t ~hash =
+  match Vfs.remove t.vfs (pending_path t hash) with
+  | Ok () | Error _ -> ()
+
+(* a failed attempt never leaves its partial prefix behind (under a
+   crash plan these removals fail too — recovery handles it on reload) *)
+let discard_partial t ~hash ~prefix =
+  (match Vfs.remove t.vfs ~recursive:true prefix with
+  | Ok () | Error _ -> ());
+  clear_pending t ~hash
 
 let install_node t spec name ~explicit =
   let sub = Concrete.subspec spec name in
@@ -184,7 +500,7 @@ let install_node t spec name ~explicit =
       t.st.st_reused <- t.st.st_reused + 1;
       Obs.count t.obs "install.reused" 1;
       if explicit && not record.Database.r_explicit then
-        Database.add t.db { record with Database.r_explicit = true };
+        add_record t { record with Database.r_explicit = true };
       Ok
         {
           o_record =
@@ -196,10 +512,11 @@ let install_node t spec name ~explicit =
         }
   | None ->
   match external_record t sub name ~explicit with
-  | Some record ->
+  | Error e -> Error e
+  | Ok (Some record) ->
       t.st.st_externals <- t.st.st_externals + 1;
       Obs.count t.obs "install.externals" 1;
-      Database.add t.db record;
+      add_record t record;
       Ok
         {
           o_record = record;
@@ -207,39 +524,48 @@ let install_node t spec name ~explicit =
           o_cached = false;
           o_cache_miss = false;
         }
-  | None ->
+  | Ok None ->
   (* binary cache: extract instead of building, relocating prefixes *)
   match t.cache with
   | Some cache when Buildcache.has cache ~hash -> (
       t.st.st_cache_hits <- t.st.st_cache_hits + 1;
       Obs.count t.obs "buildcache.hits" 1;
       let prefix = prefix_of t spec name in
+      let* () = write_pending t ~hash ~prefix in
       match
         Buildcache.extract cache ~hash ~install_root:t.install_root ~prefix
       with
       | Error e ->
+          discard_partial t ~hash ~prefix;
           Error (Install_failure (Printf.sprintf "buildcache %s: %s" name e))
-      | Ok _stored_spec ->
+      | Ok _stored_spec -> (
           (* relocation rewrote file contents, so re-manifest the prefix *)
-          Provenance.write_manifest t.vfs ~prefix;
-          let record =
-            {
-              Database.r_spec = sub;
-              r_hash = hash;
-              r_prefix = prefix;
-              r_explicit = explicit;
-              r_external = false;
-              r_build_seconds = 0.0;
-            }
-          in
-          Database.add t.db record;
-          Ok
-            {
-              o_record = record;
-              o_reused = false;
-              o_cached = true;
-              o_cache_miss = false;
-            })
+          match Provenance.write_manifest t.vfs ~prefix with
+          | Error e ->
+              discard_partial t ~hash ~prefix;
+              Error
+                (Install_failure
+                   (Printf.sprintf "provenance %s: %s" name
+                      (Vfs.error_to_string e)))
+          | Ok () ->
+              let record =
+                {
+                  Database.r_spec = sub;
+                  r_hash = hash;
+                  r_prefix = prefix;
+                  r_explicit = explicit;
+                  r_external = false;
+                  r_build_seconds = 0.0;
+                }
+              in
+              add_record t record;
+              Ok
+                {
+                  o_record = record;
+                  o_reused = false;
+                  o_cached = true;
+                  o_cache_miss = false;
+                }))
   | _ ->
       (* a configured cache that lacks this hash is a miss we account *)
       let cache_miss = Option.is_some t.cache in
@@ -262,6 +588,7 @@ let install_node t spec name ~explicit =
           (fun r -> r.Database.r_prefix)
           (Database.find_by_hash t.db dep_hash)
       in
+      let* () = write_pending t ~hash ~prefix in
       let* result =
         Result.map_error
           (fun e ->
@@ -270,15 +597,25 @@ let install_node t spec name ~explicit =
                 t.st.st_staging_failures <- t.st.st_staging_failures + 1;
                 Obs.count t.obs "install.staging_failures" 1
             | Builder.Missing_dep _ | Builder.Step_failed _ -> ());
+            discard_partial t ~hash ~prefix;
             Build_failure e)
           (Builder.build ~obs:t.obs ~vfs:t.vfs ~fs:t.fs
              ~compilers:t.compilers ~use_wrappers:t.use_wrappers
              ~mirror:t.mirror ~stage_root:t.stage_root ~spec:sub ~node:name
              ~pkg ~prefix ~dep_prefix ())
       in
-      Provenance.write t.vfs ~prefix ~spec:sub
-        ~package_source:pkg.Package.p_source ~log:result.Builder.br_log;
-      Provenance.write_manifest t.vfs ~prefix;
+      let* () =
+        Result.map_error
+          (fun e ->
+            discard_partial t ~hash ~prefix;
+            Install_failure
+              (Printf.sprintf "provenance %s: %s" name (Vfs.error_to_string e)))
+          (let* () =
+             Provenance.write t.vfs ~prefix ~spec:sub
+               ~package_source:pkg.Package.p_source ~log:result.Builder.br_log
+           in
+           Provenance.write_manifest t.vfs ~prefix)
+      in
       let record =
         {
           Database.r_spec = sub;
@@ -289,7 +626,7 @@ let install_node t spec name ~explicit =
           r_build_seconds = result.Builder.br_time;
         }
       in
-      Database.add t.db record;
+      add_record t record;
       t.st.st_built <- t.st.st_built + 1;
       Obs.count t.obs "install.built" 1;
       Obs.observe t.obs "build.node_seconds" result.Builder.br_time;
@@ -308,16 +645,22 @@ let install t ?(explicit = true) spec =
   let rec go acc = function
     | [] -> Ok (List.rev acc)
     | name :: rest -> (
+        let hash = Concrete.dag_hash spec name in
         match install_node t spec name ~explicit:(explicit && name = root) with
         | Error e ->
             (* crash consistency: the nodes that completed before the
                failure must stay visible to a fresh process, or their
-               prefixes become unindexed orphans *)
-            save_index t;
+               prefixes become unindexed orphans (the node error stays
+               the primary report if this persist fails too) *)
+            (match save_index t with Ok () -> () | Error _ -> ());
             Error (node_error_to_string e)
-        | Ok outcome ->
-            save_index t;
-            go (outcome :: acc) rest)
+        | Ok outcome -> (
+            match save_index t with
+            | Error se -> Error (store_error_to_string se)
+            | Ok () ->
+                (* the node is durably indexed: retire its intent marker *)
+                clear_pending t ~hash;
+                go (outcome :: acc) rest))
   in
   go [] order
 
@@ -521,6 +864,7 @@ let install_parallel t ?(explicit = true) ~jobs specs =
         end)
       pending;
     let worker_free = Array.make jobs 0.0 in
+    let persist_error = ref None in
     let running = ref [] (* (finish, idx, worker), ascending *) in
     let now = ref 0.0 in
     let rev_outcomes = ref [] in
@@ -587,8 +931,12 @@ let install_parallel t ?(explicit = true) ~jobs specs =
           (Printf.sprintf "worker %d" w)
         @@ fun () -> install_node t nd.pn_spec nd.pn_name ~explicit:nd.pn_explicit
       in
-      (* crash consistency: persist after every node, success or not *)
-      save_index t;
+      (* crash consistency: persist after every node, success or not; a
+         failing persist is catastrophic — the scheduler stops, like the
+         process it simulates *)
+      (match save_index t with
+      | Ok () -> clear_pending t ~hash:nd.pn_hash
+      | Error se -> if !persist_error = None then persist_error := Some se);
       match result with
       | Ok o ->
           (* a reused record carries its historical build time; replaying
@@ -649,7 +997,9 @@ let install_parallel t ?(explicit = true) ~jobs specs =
             dependents.(idx)
     in
     let rec loop () =
-      if (not (ISet.is_empty !ready)) && List.length !running < jobs then begin
+      if !persist_error <> None then ()
+      else if (not (ISet.is_empty !ready)) && List.length !running < jobs
+      then begin
         dispatch ();
         loop ()
       end
@@ -659,6 +1009,9 @@ let install_parallel t ?(explicit = true) ~jobs specs =
       end
     in
     loop ();
+    match !persist_error with
+    | Some se -> Error (store_error_to_string se)
+    | None ->
     let poisoned = ref [] in
     for i = n - 1 downto 0 do
       if state.(i) = 'P' then
@@ -720,12 +1073,16 @@ let summary_to_string s =
 
 let uninstall t ~hash =
   let* record = Database.remove t.db hash in
+  mark_dirty t hash;
   (* vendor prefixes are not ours to delete *)
-  if not record.Database.r_external then (
-    match Vfs.remove t.vfs ~recursive:true record.Database.r_prefix with
-    | Ok () | Error (Vfs.Not_found _) -> ()
-    | Error e -> invalid_arg ("Installer.uninstall: " ^ Vfs.error_to_string e));
-  save_index t;
+  let* () =
+    if record.Database.r_external then Ok ()
+    else
+      match Vfs.remove t.vfs ~recursive:true record.Database.r_prefix with
+      | Ok () | Error (Vfs.Not_found _) -> Ok ()
+      | Error e -> Error ("uninstall: " ^ Vfs.error_to_string e)
+  in
+  let* () = Result.map_error store_error_to_string (save_index t) in
   Ok record
 
 let total_build_seconds t = t.total_seconds

@@ -83,7 +83,10 @@ val install :
 
     Crash consistency: the on-disk index is persisted after {e every}
     node — including on the error path — so nodes that completed before
-    a mid-DAG failure are never left as unindexed orphan prefixes. *)
+    a mid-DAG failure are never left as unindexed orphan prefixes, and a
+    failed node's partial prefix is discarded. Never raises: index
+    persistence failures surface as [Error] (rendered
+    {!store_error_to_string}). *)
 
 type node_error =
   | Build_failure of Ospack_buildsim.Builder.error
@@ -180,7 +183,8 @@ val profile_input :
 
 val uninstall : t -> hash:string -> (Database.record, string) result
 (** Remove an installed record and its prefix. Fails (removing nothing)
-    when other installed specs depend on it. *)
+    when other installed specs depend on it. Never raises: prefix-removal
+    and index-persistence failures surface as [Error]. *)
 
 val total_build_seconds : t -> float
 (** Sum of simulated build time across everything this installer built. *)
@@ -209,13 +213,58 @@ val push_to_cache : t -> Buildcache.t -> (int, string) result
 (** Archive every locally built (non-external) record into a cache;
     returns how many records the cache now covers from this store. *)
 
+(** {1 The sharded on-disk index}
+
+    The database persists as hash-prefix shards
+    ([<install_root>/.spack-db/index/<2-hex>.json] — first two hex
+    characters of the record hash) plus a manifest listing the live
+    shard set, each file written via write-then-rename. Only shards
+    holding changed records are rewritten on a save, so per-node index
+    cost is proportional to the change, not the store. A pending marker
+    ([.spack-db/pending/<hash>]) brackets every prefix materialization;
+    {!load_index} removes any prefix whose marker survived without an
+    index entry, so a reloaded store is always a prefix of the completed
+    one with no unindexed orphans. *)
+
+type store_error =
+  | Store_io of {
+      se_action : string;  (** ["write"] / ["rename"] / ["read"] / ["remove"] *)
+      se_path : string;
+      se_cause : Ospack_vfs.Vfs.error;
+    }
+  | Store_corrupt of { se_path : string; se_reason : string }
+      (** unparsable shard, manifest, or legacy index *)
+
+val store_error_to_string : store_error -> string
+
 val index_path : t -> string
-(** Path of the on-disk database index
-    ([<install_root>/.spack-db/index.json]), maintained automatically on
-    install and uninstall. *)
+(** Path of the legacy single-file index
+    ([<install_root>/.spack-db/index.json]) — no longer written;
+    {!load_index} migrates it to shards transparently. *)
+
+val index_dir : t -> string
+(** Directory holding the index shards ([<install_root>/.spack-db/index]). *)
+
+val manifest_path : t -> string
+(** The shard manifest ([<index_dir>/manifest.json]). *)
+
+val shard_path : t -> string -> string
+(** Path of one shard file by 2-hex key. *)
+
+val shard_of_hash : string -> string
+(** The shard key of a record hash (its first two hex characters). *)
+
+val index_bytes_written : t -> int
+(** Cumulative bytes this installer wrote persisting the index (shard and
+    manifest payloads) — the quantity the sharding keeps proportional to
+    the change. *)
 
 val load_index : t -> (int, string) result
 (** Merge the records of the on-disk index into this installer's database
     — how a fresh process picks up an existing store on the same
-    filesystem. Returns the number of records loaded ([Ok 0] when no index
-    exists yet). *)
+    filesystem. Reads every shard named by the manifest or present in the
+    index directory, transparently migrates a legacy single-file
+    [index.json] (rewriting it as shards and retiring the file), and runs
+    pending-marker crash recovery (orphaned prefixes are deleted and
+    counted on the [db.recovered_orphans] obs counter). Returns the
+    number of records merged ([Ok 0] when no index exists yet). *)

@@ -3,20 +3,21 @@ module Concrete = Ospack_spec.Concrete
 
 let dir = ".spack"
 
-let must = function
-  | Ok () -> ()
-  | Error e -> invalid_arg ("Provenance.write: " ^ Vfs.error_to_string e)
+let ( let* ) = Result.bind
 
 let write vfs ~prefix ~spec ~package_source ~log =
   let base = prefix ^ "/" ^ dir in
-  must (Vfs.write_file vfs (base ^ "/spec") (Concrete.to_string spec ^ "\n"));
-  must
-    (Vfs.write_file vfs (base ^ "/spec.json")
-       (Ospack_json.Json.to_string ~indent:2 (Concrete.to_json spec) ^ "\n"));
-  must
-    (Vfs.write_file vfs (base ^ "/build.log")
-       (String.concat "\n" log ^ "\n"));
-  must (Vfs.write_file vfs (base ^ "/package.source") (package_source ^ "\n"))
+  let* () =
+    Vfs.write_file vfs (base ^ "/spec") (Concrete.to_string spec ^ "\n")
+  in
+  let* () =
+    Vfs.write_file vfs (base ^ "/spec.json")
+      (Ospack_json.Json.to_string ~indent:2 (Concrete.to_json spec) ^ "\n")
+  in
+  let* () =
+    Vfs.write_file vfs (base ^ "/build.log") (String.concat "\n" log ^ "\n")
+  in
+  Vfs.write_file vfs (base ^ "/package.source") (package_source ^ "\n")
 
 let read_line vfs path =
   match Vfs.read_file vfs path with
@@ -85,9 +86,8 @@ let write_manifest vfs ~prefix =
   let entries =
     List.map (fun (rel, md5) -> (rel, Json.String md5)) (payload vfs prefix)
   in
-  must
-    (Vfs.write_file vfs (manifest_path prefix)
-       (Json.to_string ~indent:2 (Json.Obj entries) ^ "\n"))
+  Vfs.write_file vfs (manifest_path prefix)
+    (Json.to_string ~indent:2 (Json.Obj entries) ^ "\n")
 
 let verify_manifest vfs ~prefix =
   match Vfs.read_file vfs (manifest_path prefix) with

@@ -15,11 +15,11 @@ val write :
   spec:Ospack_spec.Concrete.t ->
   package_source:string ->
   log:string list ->
-  unit
+  (unit, Ospack_vfs.Vfs.error) result
 (** Write [<prefix>/.spack/spec] (one-line form), [<prefix>/.spack/spec.json]
     (the full structured DAG), [<prefix>/.spack/build.log] and
-    [<prefix>/.spack/package.source]. Raises [Invalid_argument] on VFS
-    errors (the prefix must exist). *)
+    [<prefix>/.spack/package.source]. Stops at (and returns) the first
+    failing write — never raises. *)
 
 val read_spec : Ospack_vfs.Vfs.t -> prefix:string -> string option
 (** The stored concrete spec line, if present. *)
@@ -48,9 +48,10 @@ type verify_report = {
 
 val report_clean : verify_report -> bool
 
-val write_manifest : Ospack_vfs.Vfs.t -> prefix:string -> unit
+val write_manifest :
+  Ospack_vfs.Vfs.t -> prefix:string -> (unit, Ospack_vfs.Vfs.error) result
 (** Hash every payload file of the prefix into
-    [<prefix>/.spack/manifest.json]. *)
+    [<prefix>/.spack/manifest.json]. Never raises. *)
 
 val verify_manifest :
   Ospack_vfs.Vfs.t -> prefix:string -> (verify_report, string) result

@@ -1,0 +1,49 @@
+(** Crash-consistency torture for the store.
+
+    The harness proves the sharded index's durability story by killing an
+    install at {e every} write barrier and checking that recovery restores
+    the invariants:
+
+    + a reference run installs the given concrete specs to completion on a
+      fresh in-memory filesystem, counting its write barriers ({!Ospack_vfs.Vfs.write_barriers});
+    + for each selected barrier [k], the install is replayed on a fresh
+      filesystem with a {!Ospack_vfs.Vfs.Crash}-mode fault plan armed at
+      [k] — determinism guarantees the replay matches the reference run
+      byte-for-byte up to the kill, so the post-crash state is exactly
+      "the reference run, dead at its k-th durability boundary";
+    + a fresh installer then opens the crashed store
+      ({!Installer.load_index}: shard merge + pending-marker recovery) and
+      three invariants are checked — the reloaded index is a subset of
+      the completed run's records (prefix-of-completed-store), no file or
+      symlink outside [.spack-db] survives outside a loaded record's
+      prefix (no unindexed orphans), and re-running the install converges
+      to an index and store tree byte-identical to the reference.
+
+    Any violation aborts with an [Error] naming the kill point. *)
+
+type report = {
+  tr_jobs : int;
+  tr_specs : int;
+  tr_barriers : int;  (** write barriers in the reference run *)
+  tr_kills : int;  (** kill points exercised *)
+  tr_orphans : int;  (** orphan prefixes recovery deleted, summed over kills *)
+  tr_lost_nodes : int;
+      (** index records lost to crashes (and reinstalled), summed over kills *)
+}
+
+val report_to_string : report -> string
+
+val run :
+  ?jobs:int ->
+  ?every:int ->
+  ?config:Ospack_config.Config.t ->
+  repo:Ospack_package.Repository.t ->
+  compilers:Ospack_config.Compilers.t ->
+  Ospack_spec.Concrete.t list ->
+  (report, string) result
+(** Torture the install of [specs]. [jobs] (default 1) selects the serial
+    {!Installer.install} path or the [-jN] parallel scheduler; [every]
+    (default 1) kills at every [every]-th barrier — a sampling knob for
+    smoke gates; [config] is passed through to each installer (externals
+    etc.). The reference run must succeed, and every armed replay must
+    fail — a crash plan that an install survives is itself an error. *)

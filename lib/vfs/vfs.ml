@@ -12,6 +12,7 @@ type error =
   | Already_exists of string
   | Symlink_loop of string
   | Not_a_symlink of string
+  | Fault_injected of { fi_op : string; fi_path : string }
 
 let error_to_string = function
   | Not_found p -> Printf.sprintf "no such file or directory: %s" p
@@ -20,6 +21,8 @@ let error_to_string = function
   | Already_exists p -> Printf.sprintf "file exists: %s" p
   | Symlink_loop p -> Printf.sprintf "too many levels of symbolic links: %s" p
   | Not_a_symlink p -> Printf.sprintf "not a symbolic link: %s" p
+  | Fault_injected { fi_op; fi_path } ->
+      Printf.sprintf "fault injected: %s %s" fi_op fi_path
 
 let pp_error fmt e = Format.pp_print_string fmt (error_to_string e)
 
@@ -33,7 +36,21 @@ type counters = {
   mutable readdir : int;
 }
 
-type t = { root : (string, node) Hashtbl.t; c : counters }
+type fault_mode = Fail_op | Crash
+
+type fault_plan = {
+  fp_mode : fault_mode;
+  fp_at : int list;
+  fp_on_barrier : unit -> unit;
+  mutable fp_crashed : bool;
+}
+
+type t = {
+  root : (string, node) Hashtbl.t;
+  c : counters;
+  mutable barriers : int;
+  mutable plan : fault_plan option;
+}
 
 let create () =
   {
@@ -41,9 +58,44 @@ let create () =
     c =
       { stat = 0; read = 0; write = 0; mkdir = 0; link = 0; unlink = 0;
         readdir = 0 };
+    barriers = 0;
+    plan = None;
   }
 
 let counters fs = fs.c
+
+let write_barriers fs = fs.barriers
+
+let set_fault_plan fs ?(mode = Fail_op) ?(on_barrier = fun () -> ()) at =
+  fs.barriers <- 0;
+  fs.plan <-
+    Some { fp_mode = mode; fp_at = at; fp_on_barrier = on_barrier;
+           fp_crashed = false }
+
+let clear_fault_plan fs = fs.plan <- None
+
+(* A write barrier: the durability boundary before a write_file or rename
+   mutates anything. The counter ticks on every barrier regardless of plan;
+   with a plan armed, a planned barrier fails the op (before mutation), and
+   in Crash mode every mutating op after the kill point fails too — the
+   process is "dead", nothing further reaches the disk. *)
+let barrier fs ~op ~path =
+  fs.barriers <- fs.barriers + 1;
+  match fs.plan with
+  | None -> Ok ()
+  | Some p ->
+      p.fp_on_barrier ();
+      if p.fp_crashed || List.mem fs.barriers p.fp_at then begin
+        if p.fp_mode = Crash then p.fp_crashed <- true;
+        Error (Fault_injected { fi_op = op; fi_path = Vpath.normalize path })
+      end
+      else Ok ()
+
+let check_crashed fs ~op ~path =
+  match fs.plan with
+  | Some p when p.fp_crashed ->
+      Error (Fault_injected { fi_op = op; fi_path = Vpath.normalize path })
+  | _ -> Ok ()
 
 let reset_counters fs =
   let c = fs.c in
@@ -131,6 +183,7 @@ let parent_dir fs ~create_missing path =
       descend fs.root "/" parents
 
 let mkdir_p fs path =
+  let* () = check_crashed fs ~op:"mkdir" ~path in
   if Vpath.normalize path = "/" then Ok ()
   else
     let* dir, name = parent_dir fs ~create_missing:true path in
@@ -143,6 +196,7 @@ let mkdir_p fs path =
         Ok ()
 
 let write_file fs path content =
+  let* () = barrier fs ~op:"write" ~path in
   let* dir, name = parent_dir fs ~create_missing:true path in
   fs.c.write <- fs.c.write + 1;
   match Hashtbl.find_opt dir name with
@@ -181,6 +235,7 @@ let read_file fs path =
   | Error e -> Error e
 
 let symlink fs ~target ~link =
+  let* () = check_crashed fs ~op:"symlink" ~path:link in
   let* dir, name = parent_dir fs ~create_missing:true link in
   fs.c.link <- fs.c.link + 1;
   match Hashtbl.find_opt dir name with
@@ -247,6 +302,7 @@ let walk fs path =
   | _ -> []
 
 let rename fs ~src ~dst =
+  let* () = barrier fs ~op:"rename" ~path:dst in
   let* sdir, sname = parent_dir fs ~create_missing:false src in
   match Hashtbl.find_opt sdir sname with
   | None -> Error (Not_found (Vpath.normalize src))
@@ -271,6 +327,7 @@ let rename fs ~src ~dst =
       Ok ()
 
 let remove fs ?(recursive = false) path =
+  let* () = check_crashed fs ~op:"remove" ~path in
   let* dir, name = parent_dir fs ~create_missing:false path in
   fs.c.unlink <- fs.c.unlink + 1;
   match Hashtbl.find_opt dir name with

@@ -22,6 +22,9 @@ type error =
   | Already_exists of string
   | Symlink_loop of string
   | Not_a_symlink of string
+  | Fault_injected of { fi_op : string; fi_path : string }
+      (** An armed fault plan killed this operation (test-only; see
+          {!set_fault_plan}). *)
 
 val pp_error : Format.formatter -> error -> unit
 val error_to_string : error -> string
@@ -43,6 +46,38 @@ val counters : t -> counters
 (** Live operation counters (shared, mutable). *)
 
 val reset_counters : t -> unit
+
+(** {1 Deterministic fault injection}
+
+    Write barriers are the durability boundaries of the filesystem: one
+    per {!write_file} and one per {!rename}, counted 1-based in call
+    order. A fault plan kills selected barriers deterministically so
+    persistence code can be torture-tested at every boundary. This is a
+    test-only hook — production code never arms a plan, and an unarmed
+    filesystem behaves identically (the barrier counter still ticks). *)
+
+type fault_mode =
+  | Fail_op  (** Only the planned barriers fail (a transient I/O error);
+                 later operations succeed again. *)
+  | Crash  (** The first planned barrier fails {e before mutating
+               anything}, and every subsequent mutating operation
+               (write, rename, mkdir, symlink, remove) fails too — the
+               process is dead at that boundary, simulating a kill. *)
+
+val set_fault_plan :
+  t -> ?mode:fault_mode -> ?on_barrier:(unit -> unit) -> int list -> unit
+(** Arm a fault plan: the listed 1-based barrier indices fail (an empty
+    list is a count-only plan). Resets {!write_barriers} to 0. The
+    [on_barrier] callback fires on every barrier while the plan is armed
+    — the hook tests use to mirror the counter into an obs sink without
+    making vfs depend on obs. Default mode is {!Fail_op}. *)
+
+val clear_fault_plan : t -> unit
+(** Disarm any fault plan; all operations succeed again. *)
+
+val write_barriers : t -> int
+(** Write barriers crossed since creation (or since the last
+    {!set_fault_plan}). Counts always, plan or no plan. *)
 
 val mkdir_p : t -> string -> (unit, error) result
 (** Create a directory and any missing parents. Succeeds if the directory

@@ -172,6 +172,86 @@ let rename_cases () =
   Alcotest.(check bool) "directory over file refused" true
     (Result.is_error (Vfs.rename fs ~src:"/db/empty" ~dst:"/db/deep/cache.json"))
 
+(* --- deterministic fault injection --- *)
+
+let fault_barrier_counting () =
+  let fs = Vfs.create () in
+  Alcotest.(check int) "fresh fs has crossed no barriers" 0
+    (Vfs.write_barriers fs);
+  ignore (Vfs.write_file fs "/a" "1") (* barrier 1 *);
+  ignore (Vfs.mkdir_p fs "/d") (* not a barrier *);
+  ignore (Vfs.rename fs ~src:"/a" ~dst:"/d/a") (* barrier 2 *);
+  ignore (Vfs.read_file fs "/d/a") (* not a barrier *);
+  Alcotest.(check int) "writes and renames tick; reads and mkdirs do not" 2
+    (Vfs.write_barriers fs);
+  (* arming a plan resets the counter; the on_barrier hook mirrors every
+     tick (how tests bridge the counter into an obs sink without vfs
+     depending on obs) *)
+  let ticks = ref 0 in
+  Vfs.set_fault_plan fs ~on_barrier:(fun () -> incr ticks) [];
+  Alcotest.(check int) "armed plan resets" 0 (Vfs.write_barriers fs);
+  ignore (Vfs.write_file fs "/b" "2");
+  ignore (Vfs.write_file fs "/c" "3");
+  Alcotest.(check int) "hook fired per barrier" 2 !ticks;
+  Alcotest.(check int) "counter agrees" 2 (Vfs.write_barriers fs);
+  Vfs.clear_fault_plan fs;
+  ignore (Vfs.write_file fs "/e" "4");
+  Alcotest.(check int) "counter still ticks unarmed" 3 (Vfs.write_barriers fs)
+
+let fault_fail_op () =
+  let fs = Vfs.create () in
+  Vfs.set_fault_plan fs [ 2; 3 ];
+  Alcotest.(check (result unit err)) "barrier 1 passes" (Ok ())
+    (Vfs.write_file fs "/w/one" "1");
+  (* a planned write fails before mutating anything *)
+  Alcotest.(check (result unit err)) "barrier 2 write fails"
+    (Error (Vfs.Fault_injected { fi_op = "write"; fi_path = "/w/two" }))
+    (Vfs.write_file fs "/w/two" "2");
+  Alcotest.(check bool) "failed write left nothing" false
+    (Vfs.exists fs "/w/two");
+  (* a planned rename fails naming the destination, and moves nothing *)
+  Alcotest.(check (result unit err)) "barrier 3 rename fails"
+    (Error (Vfs.Fault_injected { fi_op = "rename"; fi_path = "/w/moved" }))
+    (Vfs.rename fs ~src:"/w/one" ~dst:"/w/moved");
+  Alcotest.(check (result string err)) "refused rename left source intact"
+    (Ok "1")
+    (Vfs.read_file fs "/w/one");
+  (* Fail_op faults are transient: the plan exhausted, later ops succeed *)
+  Alcotest.(check (result unit err)) "barrier 4 passes" (Ok ())
+    (Vfs.rename fs ~src:"/w/one" ~dst:"/w/moved");
+  Alcotest.(check int) "four barriers crossed" 4 (Vfs.write_barriers fs)
+
+let fault_crash_mode () =
+  let fs = Vfs.create () in
+  ignore (Vfs.write_file fs "/pre/keep" "safe");
+  Vfs.set_fault_plan fs ~mode:Vfs.Crash [ 2 ];
+  Alcotest.(check (result unit err)) "barrier 1 passes" (Ok ())
+    (Vfs.write_file fs "/w/a" "1");
+  Alcotest.(check (result unit err)) "barrier 2 is the kill"
+    (Error (Vfs.Fault_injected { fi_op = "write"; fi_path = "/w/b" }))
+    (Vfs.write_file fs "/w/b" "2");
+  (* the process is dead at that boundary: every subsequent mutating
+     operation fails, not just the planned ones... *)
+  Alcotest.(check bool) "write dead" true
+    (Result.is_error (Vfs.write_file fs "/w/c" "3"));
+  Alcotest.(check bool) "rename dead" true
+    (Result.is_error (Vfs.rename fs ~src:"/w/a" ~dst:"/w/z"));
+  Alcotest.(check bool) "mkdir dead" true
+    (Result.is_error (Vfs.mkdir_p fs "/w/dir"));
+  Alcotest.(check bool) "symlink dead" true
+    (Result.is_error (Vfs.symlink fs ~target:"/w/a" ~link:"/w/l"));
+  Alcotest.(check bool) "remove dead" true
+    (Result.is_error (Vfs.remove fs "/pre/keep"));
+  (* ...while the pre-crash bytes stay readable, exactly like a disk *)
+  Alcotest.(check (result string err)) "pre-crash bytes intact" (Ok "safe")
+    (Vfs.read_file fs "/pre/keep");
+  Alcotest.(check (result string err)) "barrier-1 write intact" (Ok "1")
+    (Vfs.read_file fs "/w/a");
+  (* disarming is the fresh process reopening the same disk *)
+  Vfs.clear_fault_plan fs;
+  Alcotest.(check (result unit err)) "alive again after clear" (Ok ())
+    (Vfs.write_file fs "/w/c" "3")
+
 let write_read_consistent =
   QCheck.Test.make ~name:"last write wins for every path" ~count:100 arb_files
     (fun files ->
@@ -205,6 +285,10 @@ let () =
           Alcotest.test_case "removal" `Quick removal;
           Alcotest.test_case "rename" `Quick rename_cases;
           Alcotest.test_case "operation counters" `Quick counters;
+          Alcotest.test_case "fault: barrier counting" `Quick
+            fault_barrier_counting;
+          Alcotest.test_case "fault: transient failures" `Quick fault_fail_op;
+          Alcotest.test_case "fault: crash mode" `Quick fault_crash_mode;
           QCheck_alcotest.to_alcotest write_read_consistent;
         ] );
     ]
