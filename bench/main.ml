@@ -1234,6 +1234,188 @@ let store_doc () =
     query_count !hits stored edited evicted survivors;
   doc
 
+(* --- the buildcache mode: mirror fleet + splice ------------------------
+   Stocks three mirrors with partial coverage of the Fig. 10 roster
+   (edge carries the top-2, regional the top-4, origin everything but
+   the rank-7 package), replays a seeded zipf request trace with
+   transient-fault bursts, and asserts the accounting: hits + source
+   builds cover every request, the trace replays byte-identically under
+   the same seed, every recovery path (retry, failover, fallback) fires,
+   and the popularity skew shows. Then splices a cached dyninst onto
+   libelf@0.8.12 and asserts the recomputed hash, the RPATH rewiring,
+   and the empty-environment loader verification. *)
+let buildcache_doc () =
+  let module Obs = Ospack_obs.Obs in
+  let module Json = Ospack_json.Json in
+  let module Vfs = Ospack_vfs.Vfs in
+  let module Installer = Ospack_store.Installer in
+  let module Database = Ospack_store.Database in
+  let module Buildcache = Ospack_store.Buildcache in
+  let module Cachefleet = Ospack_store.Cachefleet in
+  let repo = Universe.repository () in
+  let config = Universe.default_config in
+  let compilers = Universe.compilers in
+  let cctx =
+    Concretizer.make_ctx ~config ~obs:(Obs.create ()) ~compilers repo
+  in
+  let parse s =
+    match Parser.parse s with
+    | Ok a -> a
+    | Error e -> failwith (s ^ ": " ^ e)
+  in
+  let concrete s =
+    match Concretizer.concretize cctx (parse s) with
+    | Ok c -> c
+    | Error e -> failwith (s ^ ": " ^ Ospack_concretize.Cerror.to_string e)
+  in
+  (* --- build the roster once and stock three mirrors from it --- *)
+  let vfs = Vfs.create () in
+  let inst = Installer.create ~config ~vfs ~repo ~compilers () in
+  let items =
+    List.map
+      (fun (name, _, _) ->
+        let spec = concrete name in
+        (match Installer.install inst spec with
+        | Ok _ -> ()
+        | Error e -> failwith (name ^ ": install failed: " ^ e));
+        let hash = Concrete.root_hash spec in
+        match Database.find_by_hash (Installer.database inst) hash with
+        | Some record ->
+            ( {
+                Cachefleet.it_name = name;
+                it_hash = hash;
+                it_build_seconds = record.Database.r_build_seconds;
+              },
+              record )
+        | None -> failwith (name ^ ": installed root missing from the index"))
+      fig10_packages
+  in
+  let stock root keep =
+    let cache = Buildcache.create vfs ~root in
+    List.iteri
+      (fun rank ((item : Cachefleet.item), record) ->
+        if keep rank then
+          match
+            Buildcache.save cache
+              ~install_root:(Installer.install_root inst)
+              record
+          with
+          | Ok () -> ()
+          | Error e ->
+              failwith (item.it_name ^ ": " ^ Buildcache.error_to_string e))
+      items;
+    cache
+  in
+  (* partial coverage, fleet-order fastest-first: the rank-7 package is
+     on no mirror, so its requests fall back to source builds *)
+  let edge = stock "/mirrors/edge" (fun r -> r < 2) in
+  let regional = stock "/mirrors/regional" (fun r -> r < 4) in
+  let origin = stock "/mirrors/origin" (fun r -> r < 6) in
+  let trace = List.map fst items in
+  let mk_fleet obs =
+    Cachefleet.create ~obs
+      [
+        Cachefleet.mirror ~latency:0.01 ~byte_rate:8_000_000.0 ~name:"edge"
+          edge;
+        Cachefleet.mirror ~latency:0.03 ~byte_rate:4_000_000.0
+          ~name:"regional" regional;
+        Cachefleet.mirror ~latency:0.08 ~byte_rate:1_000_000.0 ~name:"origin"
+          origin;
+      ]
+  in
+  let fleet_config =
+    {
+      Cachefleet.default_config with
+      fc_requests = 4000;
+      fc_clients = 800;
+      fc_fault_every = 97;
+    }
+  in
+  let report = Cachefleet.run (mk_fleet (Obs.create ())) fleet_config trace in
+  let replay = Cachefleet.run (mk_fleet Obs.disabled) fleet_config trace in
+  if
+    Cachefleet.report_to_string report <> Cachefleet.report_to_string replay
+  then failwith "fleet trace must replay byte-identically under the same seed";
+  if report.Cachefleet.rp_hits + report.rp_fallback_builds <> report.rp_requests
+  then failwith "every request must end in a hit or a source build";
+  if report.rp_fallback_builds <= 0 then
+    failwith "the uncached rank-7 package must force source-build fallbacks";
+  if report.rp_retries <= 0 || report.rp_failovers <= 0 then
+    failwith "fault bursts must exercise both retry and failover";
+  if Cachefleet.hit_rate report < 0.5 then
+    failwith "zipf traffic against stocked mirrors must mostly hit";
+  let mirror_hits =
+    List.fold_left
+      (fun acc (m : Cachefleet.mirror) -> acc + m.m_hits)
+      0 report.rp_mirrors
+  in
+  if mirror_hits <> report.rp_hits then
+    failwith "per-mirror hit accounting must sum to the fleet total";
+  let pkg_requests name =
+    try List.assoc name report.rp_by_package with Not_found -> 0
+  in
+  if pkg_requests "libelf" <= pkg_requests "lapack" then
+    failwith "zipf rank 1 must out-request rank 7";
+  (match report.rp_mirrors with
+  | (e : Cachefleet.mirror) :: rest ->
+      if List.exists (fun (m : Cachefleet.mirror) -> m.m_hits > e.m_hits) rest
+      then failwith "the fastest mirror must serve the popular head"
+  | [] -> failwith "fleet lost its mirrors");
+  (* --- splice a cached dyninst onto a different libelf --- *)
+  let svfs = Vfs.create () in
+  let scache = Buildcache.create svfs ~root:"/bench/buildcache" in
+  let sinst =
+    Installer.create ~config ~vfs:svfs ~repo ~compilers ~cache:scache ()
+  in
+  let target = concrete "dyninst" in
+  (match Installer.install sinst target with
+  | Ok _ -> ()
+  | Error e -> failwith ("dyninst: install failed: " ^ e));
+  let pushed =
+    match Installer.push_to_cache sinst scache with
+    | Ok n -> n
+    | Error e -> failwith ("push: " ^ e)
+  in
+  let replacement = concrete "libelf@0.8.12" in
+  (match Installer.install sinst replacement with
+  | Ok _ -> ()
+  | Error e -> failwith ("libelf@0.8.12: install failed: " ^ e));
+  let sp =
+    match
+      Installer.splice sinst ~hash:(Concrete.root_hash target) ~replacement
+    with
+    | Ok r -> r
+    | Error e -> failwith ("splice: " ^ e)
+  in
+  if sp.Installer.sp_new_hash = sp.sp_old_hash then
+    failwith "splicing a different dependency must recompute the root hash";
+  if sp.sp_rewired <= 0 then failwith "splice must rewire at least one binary";
+  if sp.sp_resolved <= 0 then
+    failwith "the spliced prefix must hold loader-verified binaries";
+  let doc =
+    Json.Obj
+      [
+        ("format", Json.Int 1);
+        ("fleet", Cachefleet.report_to_json report);
+        ( "splice",
+          Json.Obj
+            [
+              ("target", Json.String "dyninst");
+              ("replacement", Json.String "libelf@0.8.12");
+              ("replaced", Json.String sp.sp_replaced);
+              ("pushed_entries", Json.Int pushed);
+              ("old_hash", Json.String sp.sp_old_hash);
+              ("new_hash", Json.String sp.sp_new_hash);
+              ("rewired", Json.Int sp.sp_rewired);
+              ("resolved", Json.Int sp.sp_resolved);
+            ] );
+      ]
+  in
+  print_string (Cachefleet.report_to_string report);
+  Printf.printf "splice: dyninst %s -> %s (%d RPATHs rewired, %d binaries verified)\n"
+    sp.sp_old_hash sp.sp_new_hash sp.sp_rewired sp.sp_resolved;
+  doc
+
 let default_run () =
   Printf.printf
     "ospack benchmark harness — reproduces every table and figure of the \
@@ -1271,6 +1453,7 @@ let bench_modes =
     ("concretize", concretize_doc, "BENCH_concretize.json");
     ("solve", solve_doc, "BENCH_solve.json");
     ("store", store_doc, "BENCH_store.json");
+    ("buildcache", buildcache_doc, "BENCH_buildcache.json");
   ]
 
 (* the virtual-time leaves a per-node cost increase scales; counts,
@@ -1300,8 +1483,8 @@ let usage () =
   prerr_endline
     "usage: main.exe [MODE [PATH] [--check | --update-baselines] \
      [--inject-cost-pct P]]\n\
-     modes: obs | parallel | concretize | solve | store (no mode: the \
-     full table/figure run)\n\
+     modes: obs | parallel | concretize | solve | store | buildcache (no \
+     mode: the full table/figure run)\n\
      MODE PATH            write the document to an explicit scratch PATH\n\
      MODE --check         diff the freshly generated document against the \
      committed baseline; never writes\n\

@@ -140,6 +140,23 @@ grep -q 'kill point' "$st_tmp/torture-j4.out"
 # live (per-entry Merkle invalidation)
 ./_build/default/bench/main.exe store --check > /dev/null
 
+echo "== buildcache smoke: fleet trace deterministic, splice verified, check BENCH_buildcache.json"
+# the mirror-fleet trace is seeded and runs on the virtual clock, so two
+# generations of the document must be byte-identical; splicing a cached
+# dyninst onto libelf@0.8.12 must recompute the hash and pass the
+# empty-environment loader verification
+bc_tmp=_build/buildcache-smoke
+mkdir -p "$bc_tmp"
+./_build/default/bench/main.exe buildcache "$bc_tmp/doc1.json" > /dev/null
+./_build/default/bench/main.exe buildcache "$bc_tmp/doc2.json" > /dev/null
+cmp "$bc_tmp/doc1.json" "$bc_tmp/doc2.json"
+./_build/default/bin/spack.exe splice dyninst --replace libelf@0.8.12 > "$bc_tmp/splice.out"
+grep -q 'spliced hash differs' "$bc_tmp/splice.out"
+grep -q 'loader verified' "$bc_tmp/splice.out"
+# the bench asserts the full accounting: hits + source builds cover the
+# trace, every recovery path fires, and the zipf skew shows
+./_build/default/bench/main.exe buildcache --check > /dev/null
+
 echo "== checking for stray _build files in git"
 # nothing under _build/ may be tracked, and none may appear in git status
 # (deletions are fine — that is _build being purged, not committed)

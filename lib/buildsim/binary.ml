@@ -70,6 +70,10 @@ let parse content =
             })
   | _ -> Error "not an ospack binary (missing magic line)"
 
+(* rewrite every RPATH entry in place — the splice primitive: swapping a
+   dependency's installed prefix for another without touching NEEDED *)
+let map_rpaths f t = { t with b_rpaths = List.map f t.b_rpaths }
+
 let soname_for_package name =
   let prefixed =
     if String.length name >= 3 && String.sub name 0 3 = "lib" then name

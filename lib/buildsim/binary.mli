@@ -27,6 +27,10 @@ val parse : string -> (t, string) result
 (** Inverts {!serialize} exactly; content without the magic line (or
     with malformed fields) is rejected. *)
 
+val map_rpaths : (string -> string) -> t -> t
+(** Rewrite every RPATH entry in place — the splice primitive: swap a
+    dependency's installed prefix for another without touching NEEDED. *)
+
 val soname_for_package : string -> string
 (** The soname convention used throughout the simulator:
     [lib<name>.so], keeping an existing [lib] prefix

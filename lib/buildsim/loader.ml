@@ -77,3 +77,28 @@ let resolve ?(obs = Obs.disabled) vfs ~path ~env =
       | Ok () -> finish (Ok (List.rev !resolved)))
 
 let can_run ?obs vfs ~path ~env = Result.is_ok (resolve ?obs vfs ~path ~env)
+
+(* Resolve every simulated ELF object under [prefix] — the splice
+   acceptance check: after rewiring RPATHs the whole prefix must still
+   load with no environment help. Returns the number of objects resolved;
+   the first failure wins, tagged with the object that failed. *)
+let verify_prefix ?obs vfs ~prefix ~env =
+  let binaries =
+    List.filter_map
+      (fun (path, kind) ->
+        match kind with
+        | Vfs.File -> (
+            match Vfs.read_file vfs path with
+            | Ok content when Result.is_ok (Binary.parse content) -> Some path
+            | Ok _ | Error _ -> None)
+        | Vfs.Dir | Vfs.Symlink -> None)
+      (Vfs.walk vfs prefix)
+  in
+  let rec go n = function
+    | [] -> Ok n
+    | path :: rest -> (
+        match resolve ?obs vfs ~path ~env with
+        | Ok _ -> go (n + 1) rest
+        | Error f -> Error (path, f))
+  in
+  go 0 binaries

@@ -45,3 +45,15 @@ val can_run :
   bool
 (** Does the whole closure resolve? False when the binary itself is
     missing or unparseable. *)
+
+val verify_prefix :
+  ?obs:Ospack_obs.Obs.t ->
+  Ospack_vfs.Vfs.t ->
+  prefix:string ->
+  env:Env.t ->
+  (int, string * failure) result
+(** Resolve every simulated ELF object found under [prefix] — the splice
+    acceptance check: after rewiring RPATHs the whole prefix must still
+    load with no environment help. Returns the number of objects
+    resolved; the first failure wins, tagged with the path of the object
+    that failed. *)

@@ -501,6 +501,38 @@ let buildcache_push (ctx : Context.t) =
   | None -> Error "no build cache configured (create the context with cache_root)"
   | Some cache -> Installer.push_to_cache ctx.installer cache
 
+(* [spack splice <spec> --replace <dep-spec>]: rewire the cached binary
+   of an installed spec onto a different dependency without rebuilding.
+   The target resolves like any installed-spec query, is pushed to the
+   cache on demand, the replacement concretizes and installs through the
+   ordinary path (so its prefix exists to splice in), and the heavy
+   lifting — spliced DAG, RPATH rewiring, alias records, empty-env
+   loader verification — happens in {!Ospack_store.Installer.splice}. *)
+let splice (ctx : Context.t) target ~replace =
+  match ctx.Context.cache with
+  | None -> Error "no build cache configured (create the context with cache_root)"
+  | Some cache ->
+      let* record = unique_installed ctx target in
+      let hash = record.Database.r_hash in
+      let* () =
+        if Ospack_store.Buildcache.has cache ~hash then Ok ()
+        else
+          Result.map_error Ospack_store.Buildcache.error_to_string
+            (Ospack_store.Buildcache.save cache
+               ~install_root:(Installer.install_root ctx.installer)
+               record)
+      in
+      let* ast = Parser.parse replace in
+      let* replacement =
+        Obs.span ctx.obs ~cat:"concretize" "concretize" (fun () ->
+            concretize_ast ctx ast)
+      in
+      let* _outcomes =
+        Obs.span ctx.obs ~cat:"install" "install" (fun () ->
+            Installer.install ctx.installer replacement)
+      in
+      Installer.splice ctx.installer ~hash ~replacement
+
 let verify (ctx : Context.t) ?query () =
   let* records = find ctx ?query () in
   let rec go acc = function

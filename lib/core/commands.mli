@@ -169,6 +169,20 @@ val buildcache_push : Context.t -> (int, string) result
     ([spack buildcache create]); errors when the context was created
     without [cache_root]. *)
 
+val splice :
+  Context.t -> string -> replace:string ->
+  (Ospack_store.Installer.splice_result, string) result
+(** [spack splice <spec> --replace <dep-spec>]: rewire the cached binary
+    of the unique installed spec matching the query onto a different
+    dependency without rebuilding. The target is pushed to the build
+    cache on demand, the replacement concretizes and installs through
+    the ordinary path, and {!Ospack_store.Installer.splice} builds the
+    spliced DAG (every node above the replacement recomputes its hash),
+    rewires RPATHs to the replacement's installed prefix, and accepts
+    the result only when every simulated ELF object in the new prefix
+    resolves with an empty environment. Errors when the context has no
+    [cache_root]. *)
+
 val verify :
   Context.t -> ?query:string -> unit ->
   ((Ospack_store.Database.record * Ospack_store.Provenance.verify_report) list,

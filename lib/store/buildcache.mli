@@ -8,43 +8,133 @@
     into a store with a {e different} install root rewrites embedded
     absolute paths (RPATHs in binaries, path-index files, symlink targets)
     from the old root to the new one — binary relocation, the classic
-    obstacle to sharing HPC binaries. *)
+    obstacle to sharing HPC binaries.
+
+    Entries are content-addressed under [<root>/<2-hex>/<hash>.json]
+    (the store-index shard layout) with a tolerant [manifest.json]
+    listing the live shard set; entries written by the old flat layout
+    ([<root>/<hash>.json]) stay readable. All writes go through
+    write-tmp-then-rename, so a crash leaves either no entry or a
+    complete one; stray [.tmp] files are swept on listing. *)
 
 type t
+
+type error =
+  | Cache_io of {
+      io_op : string;
+      io_path : string;
+      io_cause : Ospack_vfs.Vfs.error;
+    }
+      (** the filesystem refused an operation — {!transient} when the
+          cause is an injected fault *)
+  | Cache_corrupt of { co_path : string; co_reason : string }
+      (** the entry exists but cannot be trusted: unparseable JSON,
+          missing fields, or a file list shorter than its recorded
+          count *)
+  | Cache_missing of string  (** no entry for the hash, on any path *)
+  | Bad_prefix of { bp_prefix : string; bp_reason : string }
+      (** the prefix offered for archiving is unusable *)
+
+val error_to_string : error -> string
+
+val transient : error -> bool
+(** Worth retrying or failing over to another mirror: true exactly for
+    fault-injected I/O ({!Ospack_vfs.Vfs.Fault_injected}), never for
+    corruption or absence. *)
 
 val create : Ospack_vfs.Vfs.t -> root:string -> t
 (** A cache living under [root] on the given filesystem (shared caches use
     a shared filesystem). *)
 
+val root : t -> string
+
 val save :
   t ->
   install_root:string ->
   Database.record ->
-  (unit, string) result
+  (unit, error) result
 (** Archive an installed record's prefix (idempotent per hash). Every
     entry of the prefix walk must archive: an unreadable file or symlink
     is an error (never a silent omission), an empty or missing prefix is
     rejected, and directories are archived too so empty ones survive the
     round trip. The entry records its file count so truncation is
-    detectable at extraction. *)
+    detectable at extraction. The entry lands under its [.tmp] name and
+    becomes visible only through an atomic rename — a crash at any write
+    barrier never leaves a truncated entry behind. *)
 
 val has : t -> hash:string -> bool
 
 val cached_hashes : t -> string list
-(** Sorted hashes present in the cache. *)
+(** Sorted hashes present in the cache (sharded and legacy flat entries
+    alike). Stray [.tmp] files from interrupted saves are swept as a side
+    effect. *)
+
+val entry_path : t -> string -> string
+(** The sharded on-disk path an entry for this hash would occupy. *)
+
+val relocate : from_root:string -> to_root:string -> string -> string
+(** Path-token-boundary-aware textual relocation: an occurrence of
+    [from_root] rewrites only when not embedded in a longer path token on
+    either side, so [/opt/spack/bin] relocates while the distinct root
+    [/opt/spack2] and the mid-path [/usr/opt/spack] are left alone.
+    Boundary = any character outside [A-Za-z0-9._+-] or the text edge
+    ('/' is a boundary, so path continuations match). *)
+
+val relocate_many : pairs:(string * string) list -> string -> string
+(** Several replacements in one left-to-right scan (longest source
+    first, no chaining — a replacement's output is never re-matched). *)
 
 val extract :
   t ->
   hash:string ->
   install_root:string ->
   prefix:string ->
-  (Ospack_spec.Concrete.t, string) result
+  (Ospack_spec.Concrete.t, error) result
 (** Materialize a cached build into [prefix], relocating every embedded
     occurrence of the cached install root to [install_root]. Returns the
     stored concrete spec.
 
     Entries whose file list does not match their recorded count are
-    rejected as truncated. Re-extraction is idempotent: an existing
-    symlink is kept only when its target matches the (relocated) cached
-    target; a stale link — or a non-link squatting on the path — is
-    removed and re-created. *)
+    rejected as truncated (entries predating the count extract
+    leniently). A pre-existing destination holding any path the entry
+    does not list — leftovers from a different entry — is cleared
+    wholesale before materializing, so stale orphans can never keep
+    resolving under the loader. Re-extraction over a matching prefix is
+    idempotent: an existing symlink is kept only when its target matches
+    the (relocated) cached target; a stale link — or a non-link squatting
+    on the path — is removed and re-created. *)
+
+val entry_spec : t -> hash:string -> (Ospack_spec.Concrete.t, error) result
+(** The concrete spec stored in an entry, without materializing it. *)
+
+val entry_size : t -> hash:string -> int option
+(** Bytes an entry occupies on disk — what a mirror transfer costs. *)
+
+val splice_spec :
+  orig:Ospack_spec.Concrete.t ->
+  replacement:Ospack_spec.Concrete.t ->
+  (Ospack_spec.Concrete.t * string, string) result
+(** Build the spliced DAG: the replacement's nodes override the
+    original's same-named nodes (bringing any new transitive
+    dependencies along), edges and acyclicity re-validate, unreachable
+    nodes are pruned, and — because a node's DAG hash covers its
+    dependencies' hashes — every node above the replacement recomputes
+    its hash automatically. Returns the spliced spec and the
+    replacement's root package name. Errors when the original does not
+    depend on the replacement's package, when the replacement targets
+    the root itself, or when it is already the installed dependency. *)
+
+val splice :
+  t ->
+  hash:string ->
+  install_root:string ->
+  prefix:string ->
+  prefix_map:(string * string) list ->
+  (int, error) result
+(** Materialize the cached entry [hash] into [prefix] with its
+    dependency prefixes rewired through [prefix_map]
+    [(old installed prefix, new installed prefix)], on top of the usual
+    root relocation. Files that parse as simulated ELF objects get a
+    structured rewrite — each RPATH entry swaps on exact path-component
+    boundaries — and everything else goes through the boundary-aware
+    textual pass. Returns the number of binaries whose RPATHs changed. *)

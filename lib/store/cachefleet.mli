@@ -1,0 +1,90 @@
+(** A simulated binary-cache mirror fleet.
+
+    "Bridging the Gap Between Binary and Source Based Package
+    Management in Spack" describes public buildcache mirrors serving
+    enormous request volumes. This module models that service side on
+    the virtual clock: an ordered list of mirrors (each a
+    {!Buildcache.t} with its own latency and bandwidth), a deterministic
+    request-trace generator (seeded zipf package popularity over many
+    clients), typed retry/failover when a probe hits a transient
+    {!Ospack_vfs.Vfs.Fault_injected}-shaped failure, and source-build
+    fallback when no mirror carries the entry. Same seed, same trace —
+    byte-identical reports, which is what the bench double-run gate
+    checks. *)
+
+type mirror = {
+  m_name : string;
+  m_cache : Buildcache.t;
+  m_latency : float;  (** virtual seconds per probe round-trip *)
+  m_byte_rate : float;  (** transfer bandwidth, bytes per virtual second *)
+  mutable m_probes : int;
+  mutable m_hits : int;
+  mutable m_misses : int;
+  mutable m_faults : int;
+  mutable m_bytes : int;
+}
+
+type t
+
+val mirror :
+  ?latency:float -> ?byte_rate:float -> name:string -> Buildcache.t -> mirror
+(** A mirror with zeroed accounting (defaults: 0.05 s latency, 1 MB/s). *)
+
+val create : ?obs:Ospack_obs.Obs.t -> mirror list -> t
+(** A fleet; clients walk the mirrors in the given order. *)
+
+type config = {
+  fc_seed : int;  (** PRNG seed; same seed, same trace *)
+  fc_clients : int;  (** distinct client identities the trace draws from *)
+  fc_requests : int;  (** total requests to generate *)
+  fc_zipf_s : float;  (** zipf exponent: request popularity skew *)
+  fc_fault_every : int;
+      (** inject a two-probe burst of transient faults every Nth probe
+          fleet-wide (0 = never), so retries and failovers both occur *)
+  fc_mean_gap : float;  (** mean virtual seconds between arrivals *)
+}
+
+val default_config : config
+(** seed 42, 1000 clients, 2000 requests, zipf 1.1, no faults, 10 ms
+    mean gap. *)
+
+type item = {
+  it_name : string;  (** package name, for reporting *)
+  it_hash : string;  (** the cache entry requested *)
+  it_build_seconds : float;  (** source-build cost if no mirror has it *)
+}
+
+type report = {
+  rp_requests : int;
+  rp_clients : int;  (** distinct clients that issued a request *)
+  rp_hits : int;
+  rp_retries : int;  (** same-mirror second tries after a fault *)
+  rp_failovers : int;  (** moves to the next mirror after a fault *)
+  rp_fallback_builds : int;  (** requests no mirror served *)
+  rp_fallback_seconds : float;
+  rp_bytes : int;
+  rp_elapsed : float;  (** virtual seconds the whole trace spanned *)
+  rp_by_package : (string * int) list;
+      (** requests per package, most-requested first *)
+  rp_mirrors : mirror list;  (** in fleet order, with final accounting *)
+}
+
+val run : t -> config -> item list -> report
+(** Generate and serve the trace. Items are ranked by position: the
+    first is zipf rank 1, the most popular. Each request walks the
+    mirror list in order; a transient fault is retried once on the same
+    mirror and fails over to the next on a second fault; an entry no
+    mirror carries is charged its source-build cost. Counters
+    ([fleet.requests/hits/retries/failovers/fallback_builds/faults] and
+    per-mirror [fleet.mirror.<name>.*]) and a [fleet.trace] span land in
+    [obs]; every probe, transfer, think-time gap, and fallback build
+    advances the virtual clock. Raises [Invalid_argument] on an empty
+    item list. *)
+
+val hit_rate : report -> float
+
+val report_to_string : report -> string
+(** Deterministic fleet summary + per-mirror and per-package tables. *)
+
+val report_to_json : report -> Ospack_json.Json.t
+(** The same accounting on the fixed decimal grid, for BENCH files. *)

@@ -537,7 +537,10 @@ let install_node t spec name ~explicit =
       with
       | Error e ->
           discard_partial t ~hash ~prefix;
-          Error (Install_failure (Printf.sprintf "buildcache %s: %s" name e))
+          Error
+            (Install_failure
+               (Printf.sprintf "buildcache %s: %s" name
+                  (Buildcache.error_to_string e)))
       | Ok _stored_spec -> (
           (* relocation rewrote file contents, so re-manifest the prefix *)
           match Provenance.write_manifest t.vfs ~prefix with
@@ -1095,6 +1098,183 @@ let push_to_cache t cache =
         else (
           match Buildcache.save cache ~install_root:t.install_root r with
           | Ok () -> go (pushed + 1) rest
-          | Error e -> Error e)
+          | Error e -> Error (Buildcache.error_to_string e))
   in
   go 0 (Database.all t.db)
+
+(* ------------------------------------------------------------------ *)
+(* Splicing (spack splice): substitute one dependency's installed
+   prefix into a cached binary without rebuilding.
+
+   The spliced DAG comes from {!Buildcache.splice_spec} (the replacement
+   sub-DAG overrides the original's same-named nodes, every node above it
+   recomputes its hash). The cached entry then re-extracts into the new
+   root prefix with its RPATHs rewired: the replaced subtree's prefixes
+   swap to the replacement's installed prefixes, everything else keeps
+   pointing at the (still installed) original chain. Intermediate nodes
+   whose hash changed only because a transitive dependency did are not
+   rebuilt — they register alias records mapping the new hash onto the
+   old prefix, so the spliced DAG stays fully resolvable in the database.
+   The whole operation is bracketed by a pending marker and accepted only
+   when {!Ospack_buildsim.Loader.verify_prefix} proves every simulated
+   ELF object in the new prefix resolves with an empty environment — the
+   paper's §3.5 relocation invariant doing new work. *)
+
+type splice_result = {
+  sp_record : Database.record;  (** the newly registered spliced install *)
+  sp_old_hash : string;
+  sp_new_hash : string;
+  sp_replaced : string;  (** the dependency package that was swapped *)
+  sp_rewired : int;  (** binaries whose RPATHs were rewritten *)
+  sp_resolved : int;  (** binaries the loader re-verified, empty env *)
+}
+
+let splice t ~hash ~replacement =
+  let module Loader = Ospack_buildsim.Loader in
+  let module Env = Ospack_buildsim.Env in
+  Obs.span t.obs ~cat:"splice" ~args:[ ("hash", hash) ] "splice"
+  @@ fun () ->
+  match t.cache with
+  | None -> Error "splice: no build cache configured"
+  | Some cache ->
+      let* orig =
+        Result.map_error Buildcache.error_to_string
+          (Buildcache.entry_spec cache ~hash)
+      in
+      let* spliced, replaced = Buildcache.splice_spec ~orig ~replacement in
+      let root_name = Concrete.root orig in
+      let new_hash = Concrete.root_hash spliced in
+      let* () =
+        if Database.find_by_hash t.db new_hash <> None then
+          Error
+            (Printf.sprintf "splice: %s/%s is already installed" root_name
+               new_hash)
+        else Ok ()
+      in
+      let old_prefix name =
+        match Database.find_by_hash t.db (Concrete.dag_hash orig name) with
+        | Some r -> r.Database.r_prefix
+        | None -> prefix_of t orig name
+      in
+      let in_orig name = Concrete.node orig name <> None in
+      let in_replacement name = Concrete.node replacement name <> None in
+      let hash_changed name =
+        (not (in_orig name))
+        || Concrete.dag_hash orig name <> Concrete.dag_hash spliced name
+      in
+      (* prefix rewiring pairs: every replaced-subtree node whose hash
+         changed must already be installed — splicing substitutes
+         prefixes, it never builds *)
+      let* dep_pairs =
+        List.fold_left
+          (fun acc n ->
+            let* acc = acc in
+            let name = n.Concrete.name in
+            if not (in_replacement name && hash_changed name) then Ok acc
+            else
+              let new_h = Concrete.dag_hash spliced name in
+              match Database.find_by_hash t.db new_h with
+              | None ->
+                  Error
+                    (Printf.sprintf
+                       "splice: replacement dependency %s/%s is not \
+                        installed (install it first)"
+                       name new_h)
+              | Some r ->
+                  if in_orig name then
+                    Ok ((old_prefix name, r.Database.r_prefix) :: acc)
+                  else Ok acc)
+          (Ok []) (Concrete.nodes spliced)
+      in
+      let new_prefix = prefix_of t spliced root_name in
+      let prefix_map = (old_prefix root_name, new_prefix) :: dep_pairs in
+      let* () =
+        Result.map_error node_error_to_string
+          (write_pending t ~hash:new_hash ~prefix:new_prefix)
+      in
+      let fail_with e =
+        discard_partial t ~hash:new_hash ~prefix:new_prefix;
+        Error e
+      in
+      match
+        Buildcache.splice cache ~hash ~install_root:t.install_root
+          ~prefix:new_prefix ~prefix_map
+      with
+      | Error e -> fail_with (Buildcache.error_to_string e)
+      | Ok rewired -> (
+          (* relocation rewrote file contents, so re-manifest the prefix *)
+          match Provenance.write_manifest t.vfs ~prefix:new_prefix with
+          | Error e ->
+              fail_with
+                (Printf.sprintf "provenance %s: %s" root_name
+                   (Vfs.error_to_string e))
+          | Ok () -> (
+              (* acceptance gate before anything is registered: the new
+                 prefix must fully resolve with no environment help *)
+              match
+                Loader.verify_prefix ~obs:t.obs t.vfs ~prefix:new_prefix
+                  ~env:Env.empty
+              with
+              | Error (path, f) ->
+                  fail_with
+                    (Printf.sprintf "splice: %s: %s" path
+                       (Loader.failure_to_string f))
+              | Ok resolved ->
+                  (* alias records: intermediate nodes rehashed only
+                     because a transitive dependency changed keep their
+                     existing prefixes under the new hash *)
+                  List.iter
+                    (fun n ->
+                      let name = n.Concrete.name in
+                      if
+                        name <> root_name
+                        && (not (in_replacement name))
+                        && in_orig name && hash_changed name
+                        && Database.find_by_hash t.db
+                             (Concrete.dag_hash spliced name)
+                           = None
+                      then
+                        let external_ =
+                          match
+                            Database.find_by_hash t.db
+                              (Concrete.dag_hash orig name)
+                          with
+                          | Some r -> r.Database.r_external
+                          | None -> false
+                        in
+                        add_record t
+                          {
+                            Database.r_spec = Concrete.subspec spliced name;
+                            r_hash = Concrete.dag_hash spliced name;
+                            r_prefix = old_prefix name;
+                            r_explicit = false;
+                            r_external = external_;
+                            r_build_seconds = 0.0;
+                          })
+                    (Concrete.nodes spliced);
+                  let record =
+                    {
+                      Database.r_spec = spliced;
+                      r_hash = new_hash;
+                      r_prefix = new_prefix;
+                      r_explicit = true;
+                      r_external = false;
+                      r_build_seconds = 0.0;
+                    }
+                  in
+                  add_record t record;
+                  let* () =
+                    Result.map_error store_error_to_string (save_index t)
+                  in
+                  clear_pending t ~hash:new_hash;
+                  Obs.count t.obs "splice.count" 1;
+                  Obs.count t.obs "splice.rewired" rewired;
+                  Ok
+                    {
+                      sp_record = record;
+                      sp_old_hash = hash;
+                      sp_new_hash = new_hash;
+                      sp_replaced = replaced;
+                      sp_rewired = rewired;
+                      sp_resolved = resolved;
+                    }))

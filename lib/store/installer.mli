@@ -213,6 +213,33 @@ val push_to_cache : t -> Buildcache.t -> (int, string) result
 (** Archive every locally built (non-external) record into a cache;
     returns how many records the cache now covers from this store. *)
 
+type splice_result = {
+  sp_record : Database.record;  (** the newly registered spliced install *)
+  sp_old_hash : string;
+  sp_new_hash : string;
+  sp_replaced : string;  (** the dependency package that was swapped *)
+  sp_rewired : int;  (** binaries whose RPATHs were rewritten *)
+  sp_resolved : int;  (** binaries the loader re-verified, empty env *)
+}
+
+val splice :
+  t -> hash:string -> replacement:Ospack_spec.Concrete.t ->
+  (splice_result, string) result
+(** [spack splice]: substitute one dependency's installed prefix into
+    the cached binary for [hash] without rebuilding. The spliced DAG
+    comes from {!Buildcache.splice_spec} (the replacement sub-DAG
+    overrides same-named nodes; every node above it recomputes its
+    hash); the cached entry re-extracts into the new root prefix with
+    RPATHs rewired to the replacement's installed prefixes. Replaced
+    nodes must already be installed — splicing never builds. Intermediate
+    nodes rehashed only because a transitive dependency changed are not
+    rebuilt: they register alias records mapping the new hash onto the
+    old prefix, keeping the spliced DAG fully resolvable. The operation
+    is bracketed by a pending marker and accepted only when
+    {!Ospack_buildsim.Loader.verify_prefix} proves every simulated ELF
+    object in the new prefix resolves with an {e empty} environment —
+    the paper's §3.5 relocation invariant doing new work. *)
+
 (** {1 The sharded on-disk index}
 
     The database persists as hash-prefix shards

@@ -379,7 +379,8 @@ let buildcache_save_errors () =
   | Ok () -> Alcotest.fail "missing prefix must not archive"
   | Error e ->
       Alcotest.(check bool) "missing prefix named" true
-        (Astring.String.is_infix ~affix:"is not a directory" e));
+        (Astring.String.is_infix ~affix:"is not a directory"
+           (Ospack_store.Buildcache.error_to_string e)));
   (match Vfs.mkdir_p vfs "/r1/empty" with
   | Ok () -> ()
   | Error e -> Alcotest.failf "mkdir: %s" (Vfs.error_to_string e));
@@ -389,7 +390,8 @@ let buildcache_save_errors () =
   | Ok () -> Alcotest.fail "empty prefix must not archive"
   | Error e ->
       Alcotest.(check bool) "empty prefix refused" true
-        (Astring.String.is_infix ~affix:"refusing to archive empty prefix" e)
+        (Astring.String.is_infix ~affix:"refusing to archive empty prefix"
+           (Ospack_store.Buildcache.error_to_string e))
 
 (* re-extraction must replace a symlink whose (relocated) target changed,
    and empty directories must survive the round trip *)
@@ -418,14 +420,17 @@ let buildcache_stale_links_and_dirs () =
   in
   (match Ospack_store.Buildcache.save cache ~install_root:"/r1" record with
   | Ok () -> ()
-  | Error e -> Alcotest.failf "save: %s" e);
+  | Error e ->
+      Alcotest.failf "save: %s" (Ospack_store.Buildcache.error_to_string e));
   let extract root =
     match
       Ospack_store.Buildcache.extract cache ~hash:record.Database.r_hash
         ~install_root:root ~prefix:"/dest/pkg"
     with
     | Ok _ -> ()
-    | Error e -> Alcotest.failf "extract under %s: %s" root e
+    | Error e ->
+        Alcotest.failf "extract under %s: %s" root
+          (Ospack_store.Buildcache.error_to_string e)
   in
   let link_target () =
     match Vfs.readlink vfs "/dest/pkg/current" with
@@ -494,7 +499,8 @@ let buildcache_truncated_rejected () =
   | Ok _ -> Alcotest.fail "truncated entry must not extract"
   | Error e ->
       Alcotest.(check bool) "truncation reported with counts" true
-        (Astring.String.is_infix ~affix:"truncated entry" e);
+        (Astring.String.is_infix ~affix:"truncated entry"
+           (Ospack_store.Buildcache.error_to_string e));
       Alcotest.(check bool) "nothing materialized" false
         (Vfs.is_file vfs "/dest/pkg/bin/tool")
 
