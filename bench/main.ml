@@ -1416,6 +1416,212 @@ let buildcache_doc () =
     sp.sp_old_hash sp.sp_new_hash sp.sp_rewired sp.sp_resolved;
   doc
 
+(* --- the env mode: unified solve vs lockfile replay --------------------
+   Builds a three-root environment (the paper's tool stack) with a fresh
+   unified solve at -j4, then replays its committed lockfile in a second,
+   empty context and asserts the central environments invariant: at the
+   same context fingerprint, solve and replay produce byte-identical
+   stores, indexes, and views. A third context with a drifted site config
+   must refuse the lock with a typed staleness error, and three
+   single-root environments sharing one store must keep closure-exact,
+   disjoint views. Wall-clock solve/replay times are informational;
+   every count is exact. *)
+let env_doc () =
+  let module Obs = Ospack_obs.Obs in
+  let module Json = Ospack_json.Json in
+  let module Environment = Ospack.Environment in
+  let module Context = Ospack.Context in
+  let roots = [ "stat +gui"; "mpileaks ^mvapich2@1.9"; "tau" ] in
+  let build_env ctx ~name ?view specs =
+    let env =
+      match Environment.create ctx ~name ?view () with
+      | Ok e -> e
+      | Error e -> failwith (name ^ ": " ^ e)
+    in
+    List.fold_left
+      (fun env spec ->
+        match Environment.add ctx env spec with
+        | Ok e -> e
+        | Error e -> failwith (spec ^ ": " ^ e))
+      env specs
+  in
+  (* every file and symlink under a root; the ccache is excluded because
+     only the solving context writes one *)
+  let snapshot ctx root =
+    Vfs.walk ctx.Context.vfs root
+    |> List.filter_map (fun (path, kind) ->
+           if path = "/ospack/opt/.spack-db/ccache.json" then None
+           else
+             match kind with
+             | Vfs.File ->
+                 Some
+                   (path ^ " F "
+                   ^ Result.get_ok (Vfs.read_file ctx.Context.vfs path))
+             | Vfs.Symlink ->
+                 Some
+                   (path ^ " L " ^ Result.get_ok (Vfs.readlink ctx.Context.vfs path))
+             | Vfs.Dir -> Some (path ^ " D"))
+    |> String.concat "\n"
+  in
+  let db_json ctx =
+    Json.to_string ~indent:2
+      (Database.to_json (Installer.database ctx.Context.installer))
+  in
+  (* --- context A: cold unified solve + parallel install --- *)
+  let a = Context.create () in
+  let env_a = build_env a ~name:"prod" ~view:"/bench/view" roots in
+  let report_a, cold_secs =
+    time_it (fun () ->
+        match Environment.install ~jobs:4 a env_a with
+        | Ok r -> r
+        | Error e -> failwith ("env install: " ^ e))
+  in
+  let nodes =
+    List.length report_a.Environment.er_report.Installer.pr_outcomes
+  in
+  (* warm re-install: the valid lock covers these roots, so the fresh
+     solve is asserted hash-identical to it inside install *)
+  let _, warm_secs =
+    time_it (fun () ->
+        match Environment.install ~jobs:4 a env_a with
+        | Ok r -> r
+        | Error e -> failwith ("warm env install: " ^ e))
+  in
+  (* --- context B: replay the lockfile into an empty store --- *)
+  let b = Context.create () in
+  let env_b = build_env b ~name:"prod" ~view:"/bench/view" roots in
+  let lock_bytes =
+    match Vfs.read_file a.Context.vfs (Environment.lock_path "prod") with
+    | Ok c -> c
+    | Error e -> failwith ("lock read: " ^ Vfs.error_to_string e)
+  in
+  (match Vfs.write_file b.Context.vfs (Environment.lock_path "prod") lock_bytes with
+  | Ok () -> ()
+  | Error e -> failwith ("lock copy: " ^ Vfs.error_to_string e));
+  let report_b, replay_secs =
+    time_it (fun () ->
+        match Environment.install_locked ~jobs:4 b env_b with
+        | Ok r -> r
+        | Error e ->
+            failwith
+              ("locked replay: " ^ Environment.locked_error_to_string e))
+  in
+  if snapshot a "/ospack/opt" <> snapshot b "/ospack/opt" then
+    failwith "solve and lockfile replay must produce byte-identical stores";
+  if db_json a <> db_json b then
+    failwith "solve and lockfile replay must produce byte-identical indexes";
+  if snapshot a "/bench/view" <> snapshot b "/bench/view" then
+    failwith "solve and lockfile replay must produce byte-identical views";
+  if report_b.Environment.er_linked <> report_a.Environment.er_linked then
+    failwith "replayed view must link the same files";
+  (* --- context C: drifted site config, the lock must be typed stale --- *)
+  let stale_config =
+    Config.layer
+      [ Config.parse_exn "site.name = elsewhere"; Universe.default_config ]
+  in
+  let c = Context.create ~config:stale_config () in
+  let env_c = build_env c ~name:"prod" roots in
+  (match Vfs.write_file c.Context.vfs (Environment.lock_path "prod") lock_bytes with
+  | Ok () -> ()
+  | Error e -> failwith ("lock copy: " ^ Vfs.error_to_string e));
+  (match Environment.install_locked c env_c with
+  | Error (Environment.Locked_lock (Environment.Lock_stale _)) -> ()
+  | Error e ->
+      failwith
+        ("drifted config must be Lock_stale, got "
+        ^ Environment.locked_error_to_string e)
+  | Ok _ -> failwith "a stale lockfile must never replay");
+  if Database.count (Installer.database c.Context.installer) <> 0 then
+    failwith "a refused stale lock must not install anything";
+  (* --- N single-root envs, one store, closure-exact views --- *)
+  let d = Context.create () in
+  let shared =
+    List.map
+      (fun (name, root) ->
+        let env = build_env d ~name ~view:("/views/" ^ name) [ root ] in
+        match Environment.install ~jobs:4 d env with
+        | Ok r ->
+            let links = r.Environment.er_linked in
+            let closure =
+              List.fold_left
+                (fun acc (_, c) -> acc + Concrete.node_count c)
+                0 r.Environment.er_roots
+            in
+            (name, root, closure, links)
+        | Error e -> failwith (name ^ ": " ^ e))
+      [ ("tools", "dyninst"); ("debug", "libdwarf"); ("math", "gsl") ]
+  in
+  let closure_total =
+    List.fold_left (fun acc (_, _, c, _) -> acc + c) 0 shared
+  in
+  let store_records = Database.count (Installer.database d.Context.installer) in
+  if store_records >= closure_total then
+    failwith "overlapping env closures must share store records";
+  List.iter
+    (fun (name, _, _, links) ->
+      if links <= 0 then failwith (name ^ ": env view linked nothing"))
+    shared;
+  let doc =
+    Json.Obj
+      [
+        ("format", Json.Int 1);
+        ( "unified",
+          Json.Obj
+            [
+              ("roots", Json.Int (List.length roots));
+              ("nodes", Json.Int nodes);
+              ("jobs", Json.Int report_a.Environment.er_report.Installer.pr_jobs);
+              ("view_links", Json.Int report_a.Environment.er_linked);
+              ( "solve_cold",
+                Json.Obj
+                  [ ("wall_ms", Json.fixed ~decimals:3 (1000.0 *. cold_secs)) ]
+              );
+              ( "solve_warm",
+                Json.Obj
+                  [ ("wall_ms", Json.fixed ~decimals:3 (1000.0 *. warm_secs)) ]
+              );
+            ] );
+        ( "replay",
+          Json.Obj
+            [
+              ("nodes", Json.Int (List.length report_b.Environment.er_report.Installer.pr_outcomes));
+              ("byte_identical", Json.Bool true);
+              ("stale_rejected", Json.Bool true);
+              ( "install",
+                Json.Obj
+                  [ ("wall_ms", Json.fixed ~decimals:3 (1000.0 *. replay_secs)) ]
+              );
+            ] );
+        ( "shared_store",
+          Json.Obj
+            [
+              ("envs", Json.Int (List.length shared));
+              ("store_records", Json.Int store_records);
+              ("closure_nodes_total", Json.Int closure_total);
+              ( "views",
+                Json.List
+                  (List.map
+                     (fun (name, root, closure, links) ->
+                       Json.Obj
+                         [
+                           ("env", Json.String name);
+                           ("root", Json.String root);
+                           ("closure_nodes", Json.Int closure);
+                           ("view_links", Json.Int links);
+                         ])
+                     shared) );
+            ] );
+      ]
+  in
+  Printf.printf
+    "unified solve: %d roots -> %d nodes at -j4, %d files linked\n\
+     lockfile replay: byte-identical store/index/view; stale lock refused \
+     typed\n\
+     shared store: %d envs, %d records for %d closure nodes\n"
+    (List.length roots) nodes report_a.Environment.er_linked
+    (List.length shared) store_records closure_total;
+  doc
+
 let default_run () =
   Printf.printf
     "ospack benchmark harness — reproduces every table and figure of the \
@@ -1454,6 +1660,7 @@ let bench_modes =
     ("solve", solve_doc, "BENCH_solve.json");
     ("store", store_doc, "BENCH_store.json");
     ("buildcache", buildcache_doc, "BENCH_buildcache.json");
+    ("env", env_doc, "BENCH_env.json");
   ]
 
 (* the virtual-time leaves a per-node cost increase scales; counts,
@@ -1483,8 +1690,8 @@ let usage () =
   prerr_endline
     "usage: main.exe [MODE [PATH] [--check | --update-baselines] \
      [--inject-cost-pct P]]\n\
-     modes: obs | parallel | concretize | solve | store | buildcache (no \
-     mode: the full table/figure run)\n\
+     modes: obs | parallel | concretize | solve | store | buildcache | env \
+     (no mode: the full table/figure run)\n\
      MODE PATH            write the document to an explicit scratch PATH\n\
      MODE --check         diff the freshly generated document against the \
      committed baseline; never writes\n\

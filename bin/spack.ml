@@ -616,20 +616,43 @@ let torture_cmd =
             "Kill at every $(docv)-th write barrier instead of every one \
              (default 1) — a sampling knob for quick smoke runs.")
   in
-  let run jobs every parts =
-    let ctx = Ospack.Context.create () in
-    match Ospack.spec ctx (join_spec parts) with
-    | Error e -> report_error e
-    | Ok concrete -> (
-        match
-          Torture.run ~jobs ~every ~config:ctx.Ospack.Context.config
-            ~repo:ctx.Ospack.Context.repo
-            ~compilers:ctx.Ospack.Context.compilers [ concrete ]
-        with
-        | Ok r ->
-            Format.printf "==> %s@." (Torture.report_to_string r);
-            0
-        | Error e -> report_error e)
+  let env =
+    Arg.(
+      value & flag
+      & info [ "env" ]
+          ~doc:
+            "Torture the environment lifecycle instead of a bare install: \
+             create an environment with the given specs as roots (plus a \
+             view), kill it at every selected write barrier, and check \
+             that the manifest and lockfile are always a complete \
+             previous version (write-then-rename, never torn) and that \
+             recovery converges to the reference store and lockfile.")
+  in
+  let run jobs every env parts =
+    if env then
+      match
+        Ospack.Environment.torture ~jobs ~every ~name:"torture"
+          ~view:"/ospack/views/torture" ~roots:parts ()
+      with
+      | Ok r ->
+          Format.printf "==> %s@."
+            (Ospack.Environment.torture_report_to_string r);
+          0
+      | Error e -> report_error e
+    else
+      let ctx = Ospack.Context.create () in
+      match Ospack.spec ctx (join_spec parts) with
+      | Error e -> report_error e
+      | Ok concrete -> (
+          match
+            Torture.run ~jobs ~every ~config:ctx.Ospack.Context.config
+              ~repo:ctx.Ospack.Context.repo
+              ~compilers:ctx.Ospack.Context.compilers [ concrete ]
+          with
+          | Ok r ->
+              Format.printf "==> %s@." (Torture.report_to_string r);
+              0
+          | Error e -> report_error e)
   in
   Cmd.v
     (Cmd.info "torture"
@@ -642,7 +665,7 @@ let torture_cmd =
           unindexed orphan files, and re-running converges to \
           byte-identical state. Exits nonzero naming the first kill point \
           that violates an invariant.")
-    Term.(const run $ jobs $ every $ spec_arg)
+    Term.(const run $ jobs $ every $ env $ spec_arg)
 
 let trace_validate_cmd =
   let file =
@@ -795,6 +818,31 @@ let trace_validate_cmd =
    store, so multi-step workflows (install, find, activate, view, gc) work
    from the shell despite per-process state. Lines: `# comment`, or
    `<command> [args...]`. *)
+(* "NAME [-j N]" for the env script commands *)
+let env_jobs rest =
+  let tokens =
+    List.filter (fun s -> s <> "") (String.split_on_char ' ' rest)
+  in
+  match tokens with
+  | [ name ] -> Ok (name, 1)
+  | [ name; "-j"; n ] -> (
+      match int_of_string_opt n with
+      | Some jobs when jobs >= 1 -> Ok (name, jobs)
+      | _ -> Error "NAME [-j N]")
+  | _ -> Error "NAME [-j N]"
+
+let print_env_report ?(lock = "lockfile written") name
+    (r : Ospack.Environment.report) =
+  let nodes =
+    List.length r.Ospack.Environment.er_report.Installer.pr_outcomes
+  in
+  Format.printf "==> %s: %d roots, %d nodes installed -j%d (%s%s)@." name
+    (List.length r.Ospack.Environment.er_roots)
+    nodes r.Ospack.Environment.er_report.Installer.pr_jobs lock
+    (if r.Ospack.Environment.er_linked > 0 then
+       Printf.sprintf ", %d files linked" r.Ospack.Environment.er_linked
+     else "")
+
 let script_cmd =
   let file =
     Arg.(
@@ -972,8 +1020,19 @@ let script_cmd =
                      reports
                | Error e -> errf "%s" e)
            | "env-create" -> (
-               match Ospack.Environment.create ctx ~name:rest () with
-               | Ok _ -> Format.printf "==> created environment %s@." rest
+               (* env-create NAME [VIEWPATH] *)
+               let name, view =
+                 match String.index_opt rest ' ' with
+                 | None -> (rest, None)
+                 | Some i ->
+                     ( String.sub rest 0 i,
+                       Some
+                         (String.trim
+                            (String.sub rest (i + 1)
+                               (String.length rest - i - 1))) )
+               in
+               match Ospack.Environment.create ctx ~name ?view () with
+               | Ok _ -> Format.printf "==> created environment %s@." name
                | Error e -> errf "%s" e)
            | "env-add" -> (
                (* env-add NAME SPEC *)
@@ -992,15 +1051,94 @@ let script_cmd =
                        | Ok _ -> Format.printf "==> %s += %s@." name spec
                        | Error e -> errf "%s" e)))
            | "env-install" -> (
-               match Ospack.Environment.load ctx ~name:rest with
-               | Error e -> errf "%s" e
-               | Ok env -> (
-                   match Ospack.Environment.install ctx env with
-                   | Ok reports ->
-                       Format.printf
-                         "==> installed %d roots (lockfile written)@."
-                         (List.length reports)
-                   | Error e -> errf "%s" e))
+               (* env-install NAME [-j N] *)
+               match env_jobs rest with
+               | Error usage -> errf "usage: env-install %s" usage
+               | Ok (name, jobs) -> (
+                   match Ospack.Environment.load ctx ~name with
+                   | Error e -> errf "%s" e
+                   | Ok env -> (
+                       match Ospack.Environment.install ~jobs ctx env with
+                       | Ok r -> print_env_report name r
+                       | Error e -> errf "%s" e)))
+           | "env-install-locked" -> (
+               (* env-install-locked NAME [-j N] *)
+               match env_jobs rest with
+               | Error usage -> errf "usage: env-install-locked %s" usage
+               | Ok (name, jobs) -> (
+                   match Ospack.Environment.load ctx ~name with
+                   | Error e -> errf "%s" e
+                   | Ok env -> (
+                       match Ospack.Environment.install_locked ~jobs ctx env with
+                       | Ok r -> print_env_report ~lock:"lockfile replayed" name r
+                       | Error e ->
+                           errf "%s"
+                             (Ospack.Environment.locked_error_to_string e))))
+           | "env-lock-export" -> (
+               (* env-lock-export NAME FILE: copy the env's lockfile out to
+                  the real filesystem (the cross-process bridge, like
+                  --ccache) *)
+               match String.index_opt rest ' ' with
+               | None -> errf "usage: env-lock-export NAME FILE"
+               | Some i -> (
+                   let name = String.sub rest 0 i in
+                   let path =
+                     String.trim
+                       (String.sub rest (i + 1) (String.length rest - i - 1))
+                   in
+                   match
+                     Ospack_vfs.Vfs.read_file ctx.Ospack.Context.vfs
+                       (Ospack.Environment.lock_path name)
+                   with
+                   | Error _ -> errf "environment %s has no lockfile" name
+                   | Ok content ->
+                       write_string_file path content;
+                       Format.printf "==> exported %s lockfile to %s@." name
+                         path))
+           | "env-lock-import" -> (
+               (* env-lock-import NAME FILE: adopt a lockfile written by a
+                  previous process; validated (checksum + fingerprint) on
+                  first use, never trusted blindly *)
+               match String.index_opt rest ' ' with
+               | None -> errf "usage: env-lock-import NAME FILE"
+               | Some i -> (
+                   let name = String.sub rest 0 i in
+                   let path =
+                     String.trim
+                       (String.sub rest (i + 1) (String.length rest - i - 1))
+                   in
+                   if not (Sys.file_exists path) then
+                     errf "no such file: %s" path
+                   else
+                     let ic = open_in path in
+                     let content =
+                       really_input_string ic (in_channel_length ic)
+                     in
+                     close_in ic;
+                     match
+                       Ospack_vfs.Vfs.write_file ctx.Ospack.Context.vfs
+                         (Ospack.Environment.lock_path name)
+                         content
+                     with
+                     | Ok () ->
+                         Format.printf "==> imported %s lockfile from %s@."
+                           name path
+                     | Error e ->
+                         errf "%s" (Ospack_vfs.Vfs.error_to_string e)))
+           | "index-export" -> (
+               (* index-export FILE: the database index as canonical JSON
+                  on the real filesystem, for cross-process comparison *)
+               let db =
+                 Ospack_store.Installer.database
+                   ctx.Ospack.Context.installer
+               in
+               match rest with
+               | "" -> errf "usage: index-export FILE"
+               | path ->
+                   write_string_file path
+                     (Json.to_string ~indent:2 (Database.to_json db) ^ "\n");
+                   Format.printf "==> exported index (%d records) to %s@."
+                     (Database.count db) path)
            | "env-status" -> (
                match Ospack.Environment.load ctx ~name:rest with
                | Error e -> errf "%s" e

@@ -157,6 +157,60 @@ grep -q 'loader verified' "$bc_tmp/splice.out"
 # trace, every recovery path fires, and the zipf skew shows
 ./_build/default/bench/main.exe buildcache --check > /dev/null
 
+echo "== env smoke: unified solve -j4, lockfile replay byte-identical, stale lock refused, check BENCH_env.json"
+# process 1 solves an environment fresh and exports its lockfile and
+# store index; process 2 (an empty store) imports the lockfile, replays
+# it with install_locked, and must end at a byte-identical index;
+# process 3 layers a drifted site config and must refuse the same
+# lockfile with a typed staleness error, installing nothing
+env_tmp=_build/env-smoke
+mkdir -p "$env_tmp"
+cat > "$env_tmp/solve.spack" <<EOF
+env-create apps /opt/apps
+env-add apps lulesh +openmp
+env-add apps hpccg
+env-install apps -j 4
+env-status apps
+env-lock-export apps $env_tmp/lock.json
+index-export $env_tmp/index-solve.json
+EOF
+cat > "$env_tmp/replay.spack" <<EOF
+env-create apps /opt/apps
+env-add apps lulesh +openmp
+env-add apps hpccg
+env-lock-import apps $env_tmp/lock.json
+env-install-locked apps -j 4
+index-export $env_tmp/index-replay.json
+EOF
+cat > "$env_tmp/stale.spack" <<EOF
+env-create apps /opt/apps
+env-add apps lulesh +openmp
+env-add apps hpccg
+env-lock-import apps $env_tmp/lock.json
+env-install-locked apps -j 4
+index-export $env_tmp/index-stale.json
+EOF
+./_build/default/bin/spack.exe script "$env_tmp/solve.spack" > "$env_tmp/solve.out"
+grep -q 'lockfile written' "$env_tmp/solve.out"
+./_build/default/bin/spack.exe script "$env_tmp/replay.spack" > "$env_tmp/replay.out"
+grep -q 'lockfile replayed' "$env_tmp/replay.out"
+# the solve store and the replay store agree record for record
+cmp "$env_tmp/index-solve.json" "$env_tmp/index-replay.json"
+printf 'site.name = elsewhere\n' > "$env_tmp/drifted.conf"
+if ./_build/default/bin/spack.exe script --config "$env_tmp/drifted.conf" \
+       "$env_tmp/stale.spack" > "$env_tmp/stale.out" 2>&1; then
+    echo "error: a stale lockfile replayed under a drifted config" >&2
+    exit 1
+fi
+grep -q 'stale' "$env_tmp/stale.out"
+grep -q '"records": \[\]' "$env_tmp/index-stale.json"
+# the env lifecycle survives a kill at every 7th filesystem barrier
+./_build/default/bin/spack.exe torture --env --every 7 libdwarf gsl > "$env_tmp/torture.out"
+grep -q 'kill point' "$env_tmp/torture.out"
+# the bench asserts byte-identical solve-vs-replay stores/indexes/views,
+# the typed staleness refusal, and closure-exact shared-store views
+./_build/default/bench/main.exe env --check > /dev/null
+
 echo "== checking for stray _build files in git"
 # nothing under _build/ may be tracked, and none may appear in git status
 # (deletions are fine — that is _build being purged, not committed)

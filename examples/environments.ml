@@ -1,7 +1,8 @@
-(* Environments: a manifest of root specs managed together — the
-   composition of the paper's machinery (concretization, hashed installs,
-   lockfile provenance like §3.4.3, merged views like §4.3.1) into the
-   workflow HPC teams actually run.
+(* Environments: a manifest of root specs solved together — the
+   composition of the paper's machinery (unified concretization, hashed
+   installs, lockfile provenance like §3.4.3, merged views like §4.3.1)
+   into the workflow HPC teams actually run: one solve, a committed
+   lockfile, reproducible activation.
 
    Run with: dune exec examples/environments.exe *)
 
@@ -32,19 +33,22 @@ let () =
       Printf.printf "  %-28s installed=%b\n" root installed)
     (Environment.status ctx env);
 
-  section "Install the environment (roots share sub-DAGs)";
-  let reports = ok (Environment.install ctx env) in
+  section "Install: one unified solve, one parallel install (-j 4)";
+  let report = ok (Environment.install ~jobs:4 ctx env) in
   List.iter
-    (fun r ->
-      let built, reused =
-        List.partition
-          (fun o -> not o.Installer.o_reused)
-          r.Ospack.Commands.ir_outcomes
-      in
-      Printf.printf "  %-45s built %2d, reused %2d\n"
-        (Concrete.node_to_string (Concrete.root_node r.Ospack.Commands.ir_spec))
-        (List.length built) (List.length reused))
-    reports;
+    (fun (root, c) ->
+      Printf.printf "  %-28s -> %s (%d nodes)\n" root
+        (Concrete.node_to_string (Concrete.root_node c))
+        (Concrete.node_count c))
+    report.Environment.er_roots;
+  let outcomes = report.Environment.er_report.Installer.pr_outcomes in
+  let built =
+    List.length (List.filter (fun o -> not o.Installer.o_reused) outcomes)
+  in
+  Printf.printf
+    "  merged environment DAG: %d nodes built (shared sub-DAGs solved and \
+     installed once), %d files linked into the view\n"
+    built report.Environment.er_linked;
   List.iter
     (fun (root, installed) ->
       Printf.printf "  %-28s installed=%b\n" root installed)
@@ -58,14 +62,16 @@ let () =
            (List.filteri (fun i _ -> i < 6) entries))
   | Error _ -> ());
 
-  section "The lockfile records the exact concrete DAGs";
-  let locked = ok (Environment.locked_specs ctx env) in
+  section "The lockfile records the exact concrete DAGs, fingerprinted";
+  let lock = Result.get_ok (Environment.read_lock ctx env) in
+  Printf.printf "context fingerprint %s..\n"
+    (String.sub lock.Environment.lk_fingerprint 0 12);
   List.iter
-    (fun c ->
+    (fun (_, c) ->
       Printf.printf "  %s (%d nodes, hash %s)\n"
         (Concrete.node_to_string (Concrete.root_node c))
         (Concrete.node_count c) (Concrete.root_hash c))
-    locked;
+    lock.Environment.lk_specs;
 
   section "Wipe the store; replay the lockfile byte-for-byte";
   let db = Installer.database ctx.Ospack.Context.installer in
@@ -76,14 +82,20 @@ let () =
     (Database.all db);
   ignore (ok (Ospack.gc ctx));
   Printf.printf "store after gc: %d records\n" (Database.count db);
-  let runs = ok (Environment.install_locked ctx env) in
-  Printf.printf "locked replay reinstalled %d roots; store back to %d records\n"
-    (List.length runs) (Database.count db);
-  List.iter2
-    (fun locked_spec run ->
-      let root = List.nth run (List.length run - 1) in
-      Printf.printf "  %-12s lock %s == installed %s\n"
-        (Concrete.root locked_spec)
-        (Concrete.root_hash locked_spec)
-        root.Installer.o_record.Database.r_hash)
-    locked runs
+  let replay =
+    match Environment.install_locked ~jobs:4 ctx env with
+    | Ok r -> r
+    | Error e ->
+        prerr_endline (Environment.locked_error_to_string e);
+        exit 1
+  in
+  Printf.printf
+    "locked replay reinstalled %d roots; store back to %d records\n"
+    (List.length replay.Environment.er_roots)
+    (Database.count db);
+  List.iter
+    (fun (root, c) ->
+      Printf.printf "  %-28s lock %s installed=%b\n" root
+        (Concrete.root_hash c)
+        (Database.find_by_hash db (Concrete.root_hash c) <> None))
+    replay.Environment.er_roots

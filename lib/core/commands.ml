@@ -420,6 +420,44 @@ let view_merge (ctx : Context.t) ~view_root =
   in
   Ok (View.merge ctx.vfs ~config:ctx.config ~view_root ~installed)
 
+(* A view of exactly the closure of the given concrete specs — what an
+   environment links. The shared store may hold arbitrarily many other
+   configurations ([view_merge] links them all); here every node of every
+   given DAG is resolved to its installed record by sub-DAG hash, so two
+   environments over one store get disjoint, closure-exact views. *)
+let view_closure (ctx : Context.t) ~view_root concretes =
+  let db = Installer.database ctx.installer in
+  let* records =
+    List.fold_left
+      (fun acc (hash, node_name) ->
+        let* seen = acc in
+        if List.mem_assoc hash seen then Ok seen
+        else
+          match Database.find_by_hash db hash with
+          | Some r -> Ok ((hash, r) :: seen)
+          | None ->
+              Error
+                (Printf.sprintf "%s/%s is not installed (view out of sync)"
+                   node_name hash))
+      (Ok [])
+      (List.concat_map
+         (fun c ->
+           List.map
+             (fun (n : Concrete.node) ->
+               (Concrete.dag_hash c n.Concrete.name, n.Concrete.name))
+             (Concrete.nodes c))
+         concretes)
+  in
+  let installed =
+    List.map
+      (fun (_, (r : Database.record)) -> (r.Database.r_spec, r.Database.r_prefix))
+      (List.sort
+         (fun (_, a) (_, b) ->
+           String.compare a.Database.r_hash b.Database.r_hash)
+         records)
+  in
+  Ok (View.merge ctx.vfs ~config:ctx.config ~view_root ~installed)
+
 (* extension queries resolve to a unique installed record *)
 let unique_installed ctx text =
   let* records = find ctx ~query:text () in

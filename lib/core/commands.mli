@@ -148,6 +148,18 @@ val view_merge :
     installed under [view_root], file-by-file, conflicts resolved by the
     same preference order as {!view}. *)
 
+val view_closure :
+  Context.t ->
+  view_root:string ->
+  Ospack_spec.Concrete.t list ->
+  (Ospack_views.View.merge_report, string) result
+(** Like {!view_merge}, but restricted to exactly the dependency closure
+    of the given concrete DAGs: every node is resolved to its installed
+    record by sub-DAG hash (an unindexed node is an error, never a
+    silently thinner view). This is what environment views link, so N
+    environments can share one store without seeing each other's
+    installs. *)
+
 val activate : Context.t -> string -> (string list, string) result
 (** Activate an installed extension into its (installed) extendee
     ([spack activate py-numpy], §4.2). Path-index ([.pth]) files merge;

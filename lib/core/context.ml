@@ -31,14 +31,14 @@ type t = {
 let ccache_file root = root ^ "/.spack-db/ccache.json"
 
 let create ?config ?repo ?compilers ?fs ?scheme
-    ?(install_root = "/ospack/opt") ?cache_root ?ccache_json
+    ?(install_root = "/ospack/opt") ?cache_root ?ccache_json ?vfs
     ?(obs = Obs.disabled) ?(backend = Backends.Greedy) () =
   let config = Option.value config ~default:Universe.default_config in
   let repo =
     match repo with Some r -> r | None -> Universe.repository ()
   in
   let compilers = Option.value compilers ~default:Universe.compilers in
-  let vfs = Vfs.create () in
+  let vfs = match vfs with Some v -> v | None -> Vfs.create () in
   let cctx = Concretizer.make_ctx ~config ~obs ~compilers repo in
   let cache =
     Option.map (fun root -> Buildcache.create vfs ~root) cache_root

@@ -37,6 +37,7 @@ val create :
   ?install_root:string ->
   ?cache_root:string ->
   ?ccache_json:string ->
+  ?vfs:Ospack_vfs.Vfs.t ->
   ?obs:Ospack_obs.Obs.t ->
   ?backend:Ospack_concretize.Backends.t ->
   unit ->
@@ -46,7 +47,11 @@ val create :
     Spack-default layout under ["/ospack/opt"], all on a fresh virtual
     filesystem. [cache_root] enables a binary build cache at that path:
     installs pull matching hashes from it, and {!Commands.buildcache_push}
-    archives built trees into it. *)
+    archives built trees into it. [vfs] opens the context over an existing
+    filesystem instead of a fresh one — how crash-recovery code (and the
+    torture harnesses) re-open a store a previous context left behind;
+    pair it with {!Ospack_store.Installer.load_index} to adopt the
+    on-disk index. *)
 
 val save_ccache : t -> unit
 (** Persist the concretization cache to [ccache_path] (crash-safe
